@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench cover experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure/table at full fidelity (~15 min single core).
+experiments:
+	$(GO) run ./cmd/pdexp -exp all -scale full -out results/
+
+experiments-quick:
+	$(GO) run ./cmd/pdexp -exp all -scale quick -out results/
+
+# Brief fuzzing passes over the two wire/file parsers.
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/netio/
+	$(GO) test -fuzz FuzzReadTraceCSV -fuzztime 30s ./internal/traffic/
+	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

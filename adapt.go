@@ -1,0 +1,181 @@
+package pdds
+
+import (
+	"pdds/internal/adapt"
+	"pdds/internal/link"
+	"pdds/internal/provision"
+	"pdds/internal/traffic"
+)
+
+// AdaptiveUser describes one user of the dynamic class selection
+// simulation: a traffic stream with an absolute per-hop queueing-delay
+// target on top of the relative-differentiation network.
+type AdaptiveUser struct {
+	// TargetPUnits is the per-hop delay target in packet transmission
+	// times (p-units).
+	TargetPUnits float64
+	// LoadFraction is the share of link capacity the user offers.
+	LoadFraction float64
+}
+
+// AdaptConfig configures SimulateAdaptation.
+type AdaptConfig struct {
+	// SDP configures the WTP link (default 1,2,4,8).
+	SDP []float64
+	// Users is the adaptive population.
+	Users []AdaptiveUser
+	// BackgroundLoad adds non-adaptive load (fraction of capacity).
+	BackgroundLoad float64
+	// PeriodPUnits is the adaptation interval (default ~450 p-units).
+	PeriodPUnits float64
+	// HorizonPUnits is the run length (default ~36000 p-units).
+	HorizonPUnits float64
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+// AdaptedUser is one user's outcome.
+type AdaptedUser struct {
+	// FinalClass is the class the user settled in (0-based).
+	FinalClass int
+	// Switches counts class changes over the run.
+	Switches int
+	// Satisfaction is the fraction of adaptation periods whose average
+	// delay met the target.
+	Satisfaction float64
+	// MeanDelayPUnits is the user's late-run mean delay in p-units.
+	MeanDelayPUnits float64
+}
+
+// AdaptReport is SimulateAdaptation's result.
+type AdaptReport struct {
+	Users []AdaptedUser
+	// ClassOccupancy[c] counts users ending in class c.
+	ClassOccupancy []int
+	// MeanCost is the average final class index + 1.
+	MeanCost float64
+}
+
+// SimulateAdaptation runs the end-system adaptation scenario of §1/§7:
+// users with absolute delay targets dynamically selecting their class on a
+// shared WTP link. It demonstrates that relative differentiation plus
+// end-system adaptation yields absolute outcomes without admission
+// control.
+func SimulateAdaptation(cfg AdaptConfig) (*AdaptReport, error) {
+	if len(cfg.SDP) == 0 {
+		cfg.SDP = []float64{1, 2, 4, 8}
+	}
+	if cfg.PeriodPUnits == 0 {
+		cfg.PeriodPUnits = 450
+	}
+	if cfg.HorizonPUnits == 0 {
+		cfg.HorizonPUnits = 36000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	users := make([]adapt.UserSpec, len(cfg.Users))
+	for i, u := range cfg.Users {
+		users[i] = adapt.UserSpec{
+			Target: u.TargetPUnits * link.PUnit,
+			Rho:    u.LoadFraction,
+		}
+	}
+	res, err := adapt.Run(adapt.Config{
+		SDP:           cfg.SDP,
+		Users:         users,
+		BackgroundRho: cfg.BackgroundLoad,
+		Period:        cfg.PeriodPUnits * link.PUnit,
+		Horizon:       cfg.HorizonPUnits * link.PUnit,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &AdaptReport{ClassOccupancy: res.ClassOccupancy, MeanCost: res.MeanCost}
+	for _, u := range res.Users {
+		rep.Users = append(rep.Users, AdaptedUser{
+			FinalClass:      u.FinalClass,
+			Switches:        u.Switches,
+			Satisfaction:    u.Satisfaction(),
+			MeanDelayPUnits: u.MeanDelay / link.PUnit,
+		})
+	}
+	return rep, nil
+}
+
+// PlanConfig configures PlanClasses: an operator's provisioning question.
+type PlanConfig struct {
+	// TargetsPUnits are the per-class delay requirements in p-units,
+	// nonincreasing (higher classes demand lower delay).
+	TargetsPUnits []float64
+	// Utilization and ClassFractions define the expected operating
+	// point (defaults 0.90 and 0.40/0.30/0.20/0.10).
+	Utilization    float64
+	ClassFractions []float64
+	// Horizon is the calibration trace length in time units
+	// (default 3e5).
+	Horizon float64
+	// Seed drives the trace (default 1).
+	Seed uint64
+}
+
+// ClassPlan is PlanClasses's verdict.
+type ClassPlan struct {
+	// SDP are the scheduler parameters to configure WTP/BPR with.
+	SDP []float64
+	// PredictedPUnits are the Eq. (6) class delays in p-units.
+	PredictedPUnits []float64
+	// Scale is predicted/target (<= 1 means requirements met).
+	Scale float64
+	// Feasible is the Eq. (7) verdict.
+	Feasible bool
+	// Workable means requirements met AND feasible.
+	Workable bool
+}
+
+// PlanClasses derives the scheduler parameters that realize a set of
+// per-class delay requirements at an operating point, and reports whether
+// the plan is achievable (§7's operator-side parameter-selection
+// question).
+func PlanClasses(cfg PlanConfig) (*ClassPlan, error) {
+	if cfg.Utilization == 0 {
+		cfg.Utilization = 0.90
+	}
+	if len(cfg.ClassFractions) == 0 && len(cfg.TargetsPUnits) == 4 {
+		cfg.ClassFractions = []float64{0.40, 0.30, 0.20, 0.10}
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 3e5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	targets := make([]float64, len(cfg.TargetsPUnits))
+	for i, v := range cfg.TargetsPUnits {
+		targets[i] = v * link.PUnit
+	}
+	tr, err := traffic.Record(traffic.LoadSpec{
+		Rho:       cfg.Utilization,
+		Fractions: cfg.ClassFractions,
+		Sizes:     traffic.PaperSizes(),
+		Alpha:     1.9,
+	}, link.PaperLinkRate, cfg.Horizon, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := provision.Derive(tr, link.PaperLinkRate, targets)
+	if err != nil {
+		return nil, err
+	}
+	out := &ClassPlan{
+		SDP:      plan.SDP,
+		Scale:    plan.Scale,
+		Feasible: plan.Feasible,
+		Workable: plan.Workable(),
+	}
+	for _, d := range plan.Predicted {
+		out.PredictedPUnits = append(out.PredictedPUnits, d/link.PUnit)
+	}
+	return out, nil
+}

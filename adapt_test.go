@@ -1,0 +1,81 @@
+package pdds
+
+import "testing"
+
+func TestSimulateAdaptation(t *testing.T) {
+	rep, err := SimulateAdaptation(AdaptConfig{
+		Users: []AdaptiveUser{
+			{TargetPUnits: 3, LoadFraction: 0.03},
+			{TargetPUnits: 300, LoadFraction: 0.03},
+		},
+		BackgroundLoad: 0.85,
+		HorizonPUnits:  20000,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Users) != 2 || len(rep.ClassOccupancy) != 4 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	if !(rep.Users[0].FinalClass > rep.Users[1].FinalClass) {
+		t.Fatalf("tight user in class %d, relaxed in %d — no separation",
+			rep.Users[0].FinalClass, rep.Users[1].FinalClass)
+	}
+	if rep.MeanCost < 1 {
+		t.Fatal("mean cost below 1")
+	}
+}
+
+func TestSimulateAdaptationError(t *testing.T) {
+	if _, err := SimulateAdaptation(AdaptConfig{}); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := SimulateAdaptation(AdaptConfig{
+		Users:          []AdaptiveUser{{TargetPUnits: 1, LoadFraction: 0.5}},
+		BackgroundLoad: 0.6,
+	}); err == nil {
+		t.Fatal("overload accepted")
+	}
+}
+
+func TestPlanClasses(t *testing.T) {
+	plan, err := PlanClasses(PlanConfig{
+		TargetsPUnits: []float64{400, 200, 100, 50},
+		Utilization:   0.90,
+		Horizon:       100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Workable || !plan.Feasible || plan.Scale > 1 {
+		t.Fatalf("generous plan not workable: %+v", plan)
+	}
+	if len(plan.SDP) != 4 || plan.SDP[0] != 1 || plan.SDP[3] != 8 {
+		t.Fatalf("SDP = %v, want 1,2,4,8 from the 2:1 requirement ladder", plan.SDP)
+	}
+	if len(plan.PredictedPUnits) != 4 {
+		t.Fatal("predicted delays missing")
+	}
+
+	tight, err := PlanClasses(PlanConfig{
+		TargetsPUnits: []float64{0.8, 0.4, 0.2, 0.1},
+		Utilization:   0.95,
+		Horizon:       100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Workable {
+		t.Fatal("impossible plan reported workable")
+	}
+}
+
+func TestPlanClassesError(t *testing.T) {
+	if _, err := PlanClasses(PlanConfig{
+		TargetsPUnits: []float64{50, 100, 200, 400}, // increasing: invalid
+		Horizon:       50000,
+	}); err == nil {
+		t.Fatal("increasing targets accepted")
+	}
+}

@@ -1,0 +1,355 @@
+package pdds
+
+// One benchmark per table and figure of the paper's evaluation, driven by
+// the same experiment code as cmd/pdexp (at the reduced Bench scale so an
+// iteration stays sub-second), plus micro-benchmarks of the schedulers
+// themselves. Regenerating the paper's numbers at full fidelity is
+// cmd/pdexp's job; these benches make the full pipeline part of
+// `go test -bench`.
+
+import (
+	"io"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/ecn"
+	"pdds/internal/experiments"
+	"pdds/internal/link"
+	"pdds/internal/model"
+	"pdds/internal/traffic"
+)
+
+func benchScale() experiments.Scale { return experiments.Bench }
+
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig1(experiments.PaperSDPx2, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFig1TSV(io.Discard, points, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig1(experiments.PaperSDPx4, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFig1TSV(io.Discard, points, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(experiments.PaperSDPx2, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFig2TSV(io.Discard, points, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(experiments.PaperSDPx4, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFig2TSV(io.Discard, points, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig3(experiments.PaperSDPx2, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFig3TSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4BPRMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Micro(core.KindBPR, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteMicroSeriesCSV(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5WTPMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Micro(core.KindWTP, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteMicroSeriesCSV(io.Discard, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table1(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteTable1TSV(io.Discard, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeasibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Feasibility(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteFeasibilityTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Ablation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteAblationTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduler measures raw enqueue+dequeue throughput of each
+// discipline with four busy classes.
+func BenchmarkScheduler(b *testing.B) {
+	for _, kind := range core.Kinds() {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			s, err := core.New(kind, []float64{1, 2, 4, 8}, link.PaperLinkRate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-fill so dequeues always find work.
+			pkts := make([]*core.Packet, 64)
+			for i := range pkts {
+				pkts[i] = &core.Packet{ID: uint64(i), Class: i % 4, Size: 550}
+			}
+			for i, p := range pkts {
+				s.Enqueue(p, float64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			now := 100.0
+			for i := 0; i < b.N; i++ {
+				now++
+				p := s.Dequeue(now)
+				p.Arrival = now
+				s.Enqueue(p, now)
+			}
+		})
+	}
+}
+
+// BenchmarkSingleLink measures end-to-end simulation throughput: events
+// per second of the full source→scheduler→link pipeline.
+func BenchmarkSingleLink(b *testing.B) {
+	for _, kind := range []core.Kind{core.KindWTP, core.KindBPR, core.KindFCFS} {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := link.Run(link.RunConfig{
+					Kind:    kind,
+					SDP:     []float64{1, 2, 4, 8},
+					Load:    traffic.PaperLoad(0.95),
+					Horizon: 5e4,
+					Warmup:  5e3,
+					Seed:    uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Departed == 0 {
+					b.Fatal("no packets")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLossExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Loss(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteLossTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModerateExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Moderate(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteModerateTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodec measures header encode+decode round trips.
+func BenchmarkCodec(b *testing.B) {
+	b.ReportAllocs()
+	dst := make([]byte, 0, 64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		dst = dst[:0]
+		dst = EncodeDatagram(2, uint64(i), nil)
+		_, seq, _, _, err := DecodeDatagram(dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += seq
+	}
+	_ = sink
+}
+
+// BenchmarkFluidBPRDrain measures the RK4 backlog integrator.
+func BenchmarkFluidBPRDrain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := core.NewFluidBPR([]float64{1, 2, 4, 8}, 100)
+		for c := 0; c < 4; c++ {
+			f.Add(c, 1000)
+		}
+		f.Drain(f.TimeToEmpty()*0.9, 64)
+	}
+}
+
+// BenchmarkDCS measures the dynamic class selection simulation.
+func BenchmarkDCS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := SimulateAdaptation(AdaptConfig{
+			Users: []AdaptiveUser{
+				{TargetPUnits: 3, LoadFraction: 0.03},
+				{TargetPUnits: 300, LoadFraction: 0.03},
+			},
+			BackgroundLoad: 0.85,
+			HorizonPUnits:  5000,
+			Seed:           uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Users) != 2 {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// BenchmarkECNClosedLoop measures the AIMD/ECN closed-loop simulation.
+func BenchmarkECNClosedLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ecn.Run(ecn.Config{
+			SDP: []float64{1, 2, 4, 8},
+			Sources: []ecn.SourceConfig{
+				{Class: 0, InitialRate: 2, MinRate: 0.2},
+				{Class: 3, InitialRate: 2, MinRate: 0.2},
+			},
+			Horizon: 50000,
+			Warmup:  5000,
+			Seed:    uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Utilization <= 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures trace recording + FCFS replay throughput.
+func BenchmarkTraceReplay(b *testing.B) {
+	tr, err := traffic.Record(traffic.PaperLoad(0.95), link.PaperLinkRate, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := model.FCFSMeanDelay(tr, link.PaperLinkRate); d <= 0 {
+			b.Fatal("no delay measured")
+		}
+	}
+}
+
+// BenchmarkFeasibilityCheck measures a full Eq. (7) evaluation (14 FCFS
+// sub-simulations on a recorded trace).
+func BenchmarkFeasibilityCheck(b *testing.B) {
+	tr, err := traffic.Record(traffic.PaperLoad(0.9), link.PaperLinkRate, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ddp := model.DDPsFromSDPs([]float64{1, 2, 4, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := model.CheckDDPs(tr, link.PaperLinkRate, ddp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Conditions) != 14 {
+			b.Fatal("wrong condition count")
+		}
+	}
+}
+
+func BenchmarkPathSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.PathSched(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WritePathSchedTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHPDGSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.HPDG(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.WriteHPDGTSV(io.Discard, points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Command pdexp regenerates the paper's tables and figures. Each
+// experiment prints a TSV table to stdout (or to a file per experiment
+// with -out).
+//
+// Examples:
+//
+//	pdexp -exp fig1a                 # Figure 1-a at full paper scale
+//	pdexp -exp all -scale quick      # everything, reduced run sizes
+//	pdexp -exp fig4,fig5 -out results/  # microscopic-view CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pdds/internal/core"
+	"pdds/internal/experiments"
+	"pdds/internal/textplot"
+)
+
+var allExperiments = []string{
+	"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
+	"table1", "feasibility", "ablation", "loss", "moderate", "pathsched", "hpdg",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdexp: ")
+
+	var (
+		expList  = flag.String("exp", "all", "comma-separated experiments: "+strings.Join(allExperiments, ",")+" or all")
+		scaleStr = flag.String("scale", "full", "run scale: full|quick|bench")
+		outDir   = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		plot     = flag.Bool("plot", false, "append a terminal plot to fig1a/fig1b/moderate output (re-runs the experiment; deterministic)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "full":
+		scale = experiments.Full
+	case "quick":
+		scale = experiments.Quick
+	case "bench":
+		scale = experiments.Bench
+	default:
+		log.Fatalf("unknown -scale %q", *scaleStr)
+	}
+
+	names := strings.Split(*expList, ",")
+	if *expList == "all" {
+		names = allExperiments
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		var out io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			ext := ".tsv"
+			if name == "fig4" || name == "fig5" {
+				ext = ".csv"
+			}
+			f, err := os.Create(filepath.Join(*outDir, name+ext))
+			if err != nil {
+				log.Fatal(err)
+			}
+			file = f
+			out = f
+		}
+		if err := run(name, scale, out); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if *plot {
+			if err := renderPlot(name, scale, out); err != nil {
+				log.Fatalf("%s plot: %v", name, err)
+			}
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "pdexp: %s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, scale experiments.Scale, out io.Writer) error {
+	switch name {
+	case "fig1a":
+		points, err := experiments.Fig1(experiments.PaperSDPx2, scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig1TSV(out, points, 2)
+	case "fig1b":
+		points, err := experiments.Fig1(experiments.PaperSDPx4, scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig1TSV(out, points, 4)
+	case "fig2a":
+		points, err := experiments.Fig2(experiments.PaperSDPx2, scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig2TSV(out, points, 2)
+	case "fig2b":
+		points, err := experiments.Fig2(experiments.PaperSDPx4, scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig2TSV(out, points, 4)
+	case "fig3":
+		points, err := experiments.Fig3(experiments.PaperSDPx2, scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig3TSV(out, points)
+	case "fig4", "fig5":
+		kind := core.KindBPR
+		if name == "fig5" {
+			kind = core.KindWTP
+		}
+		res, err := experiments.Micro(kind, scale)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteMicroSummaryTSV(out, []*experiments.MicroResult{res}); err != nil {
+			return err
+		}
+		return experiments.WriteMicroSeriesCSV(out, res)
+	case "table1":
+		cells, err := experiments.Table1(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable1TSV(out, cells)
+	case "feasibility":
+		points, err := experiments.Feasibility(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFeasibilityTSV(out, points)
+	case "ablation":
+		points, err := experiments.Ablation(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteAblationTSV(out, points)
+	case "loss":
+		points, err := experiments.Loss(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteLossTSV(out, points)
+	case "moderate":
+		points, err := experiments.Moderate(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteModerateTSV(out, points)
+	case "pathsched":
+		points, err := experiments.PathSched(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WritePathSchedTSV(out, points)
+	case "hpdg":
+		points, err := experiments.HPDG(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteHPDGTSV(out, points)
+	default:
+		return fmt.Errorf("unknown experiment (want one of %s)", strings.Join(allExperiments, ", "))
+	}
+}
+
+// renderPlot appends a terminal plot for the experiments that have a
+// natural ratio-vs-utilization view.
+func renderPlot(name string, scale experiments.Scale, out io.Writer) error {
+	mean := func(v []float64) float64 {
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		return sum / float64(len(v))
+	}
+	var p textplot.Plot
+	switch name {
+	case "fig1a", "fig1b":
+		sdp := experiments.PaperSDPx2
+		if name == "fig1b" {
+			sdp = experiments.PaperSDPx4
+		}
+		points, err := experiments.Fig1(sdp, scale)
+		if err != nil {
+			return err
+		}
+		p.Title = "mean successive-class delay ratio vs utilization"
+		bySched := map[core.Kind][]textplot.Point{}
+		for _, pt := range points {
+			bySched[pt.Scheduler] = append(bySched[pt.Scheduler],
+				textplot.Point{X: pt.Rho, Y: mean(pt.Ratios)})
+		}
+		p.Add(textplot.Series{Name: "wtp", Marker: 'w', Points: bySched[core.KindWTP]})
+		p.Add(textplot.Series{Name: "bpr", Marker: 'b', Points: bySched[core.KindBPR]})
+	case "moderate":
+		points, err := experiments.Moderate(scale)
+		if err != nil {
+			return err
+		}
+		p.Title = "mean ratio vs utilization: proportional schedulers (target 2)"
+		bySched := map[core.Kind][]textplot.Point{}
+		for _, pt := range points {
+			bySched[pt.Scheduler] = append(bySched[pt.Scheduler],
+				textplot.Point{X: pt.Rho, Y: mean(pt.Ratios)})
+		}
+		for _, kind := range experiments.ModerateSchedulers {
+			p.Add(textplot.Series{Name: string(kind), Marker: rune(kind[0]), Points: bySched[kind]})
+		}
+	default:
+		return nil // no plot for this experiment
+	}
+	rendered, err := p.Render()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(out, rendered)
+	return err
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdds/internal/experiments"
+)
+
+// tiny keeps the experiment drivers fast enough for a unit test.
+var tiny = experiments.Scale{
+	Seeds:             1,
+	Horizon:           2e4,
+	Warmup:            2e3,
+	FeasHorizon:       2e4,
+	StudyBSeeds:       1,
+	StudyBExperiments: 2,
+	StudyBWarmup:      2,
+}
+
+func TestRunKnownExperiments(t *testing.T) {
+	for _, name := range allExperiments {
+		var buf bytes.Buffer
+		if err := run(name, tiny, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "#") {
+			t.Errorf("%s: output missing header comment:\n%.80s", name, out)
+		}
+		if strings.Count(out, "\n") < 3 {
+			t.Errorf("%s: suspiciously short output", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("nope", tiny, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRenderPlot(t *testing.T) {
+	for _, name := range []string{"fig1a", "moderate"} {
+		var buf bytes.Buffer
+		if err := renderPlot(name, tiny, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "utilization") {
+			t.Fatalf("%s: plot missing axis title", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := renderPlot("table1", tiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("plot rendered for unsupported experiment")
+	}
+}

@@ -1,0 +1,122 @@
+// Command pdprobe measures a pdfwd forwarder: it binds a local receiver,
+// blasts classed datagrams at the forwarder's ingress, and reports
+// per-class one-way delay statistics at the receiver, computing the
+// observed differentiation ratios.
+//
+// Typical session (two terminals):
+//
+//	pdfwd   -listen 127.0.0.1:7000 -forward 127.0.0.1:7001 -rate 512000
+//	pdprobe -send 127.0.0.1:7000 -recv 127.0.0.1:7001 -classes 4 -count 100
+//
+// pdprobe and pdfwd share the same clock only when run on the same host;
+// across hosts the delays include clock offset (ratios remain meaningful
+// if the offset is small relative to queueing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"pdds"
+	"pdds/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdprobe: ")
+
+	var (
+		sendAddr = flag.String("send", "127.0.0.1:7000", "forwarder ingress address")
+		recvAddr = flag.String("recv", "127.0.0.1:7001", "local address to receive forwarded datagrams on")
+		classes  = flag.Int("classes", 4, "number of classes to probe")
+		count    = flag.Int("count", 100, "datagrams per class")
+		size     = flag.Int("size", 128, "datagram size including 18-byte header")
+		timeout  = flag.Duration("timeout", 30*time.Second, "receive deadline")
+	)
+	flag.Parse()
+	if *classes < 1 || *classes > 64 {
+		log.Fatalf("-classes %d out of range", *classes)
+	}
+	if *size < 18 {
+		log.Fatal("-size must be >= 18 (header length)")
+	}
+
+	laddr, err := net.ResolveUDPAddr("udp", *recvAddr)
+	if err != nil {
+		log.Fatalf("-recv: %v", err)
+	}
+	recv, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		log.Fatalf("bind receiver: %v", err)
+	}
+	defer recv.Close()
+
+	send, err := net.Dial("udp", *sendAddr)
+	if err != nil {
+		log.Fatalf("dial forwarder: %v", err)
+	}
+	defer send.Close()
+
+	// Send an interleaved burst so all classes compete for the egress.
+	payload := make([]byte, *size-18)
+	total := *classes * *count
+	for i := 0; i < *count; i++ {
+		for c := 0; c < *classes; c++ {
+			dg := pdds.EncodeDatagram(uint8(c), uint64(i), payload)
+			if _, err := send.Write(dg); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+		}
+	}
+	fmt.Printf("sent %d datagrams (%d per class) to %s\n", total, *count, *sendAddr)
+
+	samples := make([]stats.Sample, *classes)
+	buf := make([]byte, 64*1024)
+	received := 0
+	recv.SetReadDeadline(time.Now().Add(*timeout))
+	for received < total {
+		n, _, err := recv.ReadFromUDP(buf)
+		if err != nil {
+			fmt.Printf("receive stopped after %d/%d datagrams: %v\n", received, total, err)
+			break
+		}
+		class, _, sentAt, _, err := pdds.DecodeDatagram(buf[:n])
+		if err != nil || int(class) >= *classes {
+			continue
+		}
+		samples[class].Add(time.Since(sentAt).Seconds())
+		received++
+	}
+	if received == 0 {
+		log.Fatal("nothing received — is pdfwd running and forwarding to -recv?")
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "class\treceived\tmean\tp50\tp95")
+	means := make([]float64, *classes)
+	for c := 0; c < *classes; c++ {
+		s := &samples[c]
+		if s.Len() == 0 {
+			fmt.Fprintf(w, "%d\t0\t-\t-\t-\n", c+1)
+			continue
+		}
+		means[c] = s.Mean()
+		fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\n", c+1, s.Len(),
+			fmtDur(s.Mean()), fmtDur(s.Quantile(0.5)), fmtDur(s.Quantile(0.95)))
+	}
+	w.Flush()
+	for c := 0; c+1 < *classes; c++ {
+		if means[c+1] > 0 {
+			fmt.Printf("mean-delay ratio d%d/d%d = %.2f\n", c+1, c+2, means[c]/means[c+1])
+		}
+	}
+}
+
+func fmtDur(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/traffic"
+)
+
+func writeTempTrace(t *testing.T) string {
+	t.Helper()
+	tr, err := traffic.Record(traffic.PaperLoad(0.9), 441.0/11.2, 30000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRecordReplayCompareSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "rec.csv")
+	if err := record([]string{"-rho", "0.9", "-horizon", "20000", "-out", out}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := replay([]string{"-in", out}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := compare([]string{"-in", out}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := replay([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := replay([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTempTrace(t)
+	if err := replay([]string{"-in", path, "-sdp", "1,2"}); err == nil {
+		t.Error("SDP/class mismatch accepted")
+	}
+	if err := replay([]string{"-in", path, "-sched", "bogus"}); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if err := compare([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	path := writeTempTrace(t)
+	if err := compare([]string{"-in", path, "-sdp", "1,2"}); err == nil {
+		t.Error("SDP/class mismatch accepted")
+	}
+}
+
+// Conservation across all schedulers, exercised through the replay helper
+// the CLI uses.
+func TestReplayOnceConservation(t *testing.T) {
+	tr, err := traffic.Record(traffic.PaperLoad(0.95), 441.0/11.2, 30000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdp := []float64{1, 2, 4, 8}
+	var ref float64
+	for i, kind := range core.Kinds() {
+		delays, err := replayOnce(tr, kind, sdp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = delays.SumLW()
+			continue
+		}
+		if got := delays.SumLW(); got != ref {
+			rel := (got - ref) / ref
+			if rel < -1e-9 || rel > 1e-9 {
+				t.Errorf("%s: SumLW %g vs reference %g", kind, got, ref)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package pdds_test
+
+import (
+	"fmt"
+	"log"
+
+	"pdds"
+)
+
+// The basic use of the library: run the paper's single-link model and read
+// the controlled delay ratios.
+func ExampleSimulateLink() {
+	rep, err := pdds.SimulateLink(pdds.LinkConfig{
+		Scheduler:   pdds.WTP,
+		SDP:         []float64{1, 2, 4, 8},
+		Utilization: 0.95,
+		Horizon:     200_000,
+		Warmup:      20_000,
+		Seed:        42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler: %s\n", rep.Scheduler)
+	fmt.Printf("classes measured: %d\n", len(rep.Classes))
+	// Delay ratios hover near the inverse SDP ratio 2 under heavy load.
+	for i, r := range rep.DelayRatios {
+		ok := r > 1.5 && r < 2.5
+		fmt.Printf("d%d/d%d near 2: %v\n", i+1, i+2, ok)
+	}
+	// Output:
+	// scheduler: WTP
+	// classes measured: 4
+	// d1/d2 near 2: true
+	// d2/d3 near 2: true
+	// d3/d4 near 2: true
+}
+
+// Checking whether a differentiation plan is achievable before deploying
+// it (Eq. 6 + Eq. 7).
+func ExampleCheckFeasibility() {
+	res, err := pdds.CheckFeasibility(pdds.FeasibilityConfig{
+		SDP:         []float64{1, 2, 4, 8},
+		Utilization: 0.90,
+		Horizon:     100_000,
+		Seed:        7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("predicted delays ordered: %v\n",
+		res.PredictedDelays[0] > res.PredictedDelays[1] &&
+			res.PredictedDelays[1] > res.PredictedDelays[2] &&
+			res.PredictedDelays[2] > res.PredictedDelays[3])
+	// Output:
+	// feasible: true
+	// predicted delays ordered: true
+}
+
+// Deriving scheduler parameters from a population requirement profile
+// (the §7 operator question).
+func ExamplePlanClasses() {
+	plan, err := pdds.PlanClasses(pdds.PlanConfig{
+		TargetsPUnits: []float64{400, 200, 100, 50},
+		Utilization:   0.90,
+		Horizon:       100_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SDP: %v\n", plan.SDP)
+	fmt.Printf("workable: %v\n", plan.Workable)
+	// Output:
+	// SDP: [1 2 4 8]
+	// workable: true
+}

@@ -1,0 +1,72 @@
+package pdds
+
+import (
+	"net"
+	"time"
+
+	"pdds/internal/core"
+	"pdds/internal/netio"
+)
+
+// Forwarder is a live single-hop class-based UDP forwarding element: the
+// paper's per-hop behaviour on real sockets. Datagrams carry an 18-byte
+// header (see EncodeDatagram) whose class byte selects the service class;
+// the egress is rate-limited and scheduled by the configured discipline.
+type Forwarder struct {
+	inner *netio.Forwarder
+}
+
+// ForwarderStats are cumulative forwarder counters.
+type ForwarderStats struct {
+	Received  uint64
+	Forwarded uint64
+	Dropped   uint64
+	BadHeader uint64
+}
+
+// StartForwarder binds listen (e.g. "127.0.0.1:0"), forwarding scheduled
+// datagrams to forward at rateBps. kind and sdp configure the discipline
+// (pass WTP and nil for the paper defaults).
+func StartForwarder(listen, forward string, kind SchedulerKind, sdp []float64, rateBps float64) (*Forwarder, error) {
+	inner, err := netio.Listen(netio.Config{
+		Listen:    listen,
+		Forward:   forward,
+		Scheduler: core.Kind(kind),
+		SDP:       sdp,
+		RateBps:   rateBps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Forwarder{inner: inner}, nil
+}
+
+// Addr returns the bound ingress address.
+func (f *Forwarder) Addr() net.Addr { return f.inner.LocalAddr() }
+
+// Stats returns a snapshot of the counters.
+func (f *Forwarder) Stats() ForwarderStats {
+	s := f.inner.Stats()
+	return ForwarderStats(s)
+}
+
+// Close shuts the forwarder down.
+func (f *Forwarder) Close() error { return f.inner.Close() }
+
+// EncodeDatagram builds a forwarder datagram: class selects the service
+// class (0-based), seq and the current time are embedded so receivers can
+// measure per-packet one-way delay with DecodeDatagram.
+func EncodeDatagram(class uint8, seq uint64, payload []byte) []byte {
+	dg := netio.Header{Class: class, Seq: seq, SentAt: time.Now()}.Encode(nil)
+	return append(dg, payload...)
+}
+
+// DecodeDatagram parses a forwarder datagram, returning the class,
+// sequence number, sender timestamp, and payload.
+func DecodeDatagram(datagram []byte) (class uint8, seq uint64, sentAt time.Time, payload []byte, err error) {
+	h, payload, err := netio.Decode(datagram)
+	if err != nil {
+		return 0, 0, time.Time{}, nil, err
+	}
+	return h.Class, h.Seq, h.SentAt, payload, nil
+}

@@ -1,0 +1,3 @@
+module pdds
+
+go 1.22

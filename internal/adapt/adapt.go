@@ -1,0 +1,311 @@
+// Package adapt implements the end-system adaptation the paper's
+// architecture presumes (§1: "it is up to the applications and users to
+// select the class that best meets their requirements, cost, and policy
+// constraints") and §7 lists among the open problems: dynamic class
+// selection (DCS) for users with absolute delay targets on top of a
+// relative-differentiation network.
+//
+// Each adaptive user generates its own packet stream through a shared
+// WTP link, has a per-hop queueing-delay target, and periodically adapts:
+// if the delays its packets actually received in the last period exceed
+// the target, it moves one class up; if the class below (as observed from
+// the network's recent per-class delays) would have met the target with
+// margin, it moves down to save cost. Under feasible aggregate load the
+// population settles into the cheapest class assignment that meets every
+// target — without admission control, exactly the paper's adaptation
+// story.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/sim"
+	"pdds/internal/traffic"
+)
+
+// UserSpec describes one adaptive user.
+type UserSpec struct {
+	// Target is the per-hop queueing-delay target in time units
+	// (averaged over the user's packets in an adaptation period).
+	Target float64
+	// Rho is the fraction of link capacity this user offers.
+	Rho float64
+	// InitialClass is the starting class (users typically start at the
+	// cheapest, class 0).
+	InitialClass int
+}
+
+// Config describes a DCS simulation.
+type Config struct {
+	// SDP configures the shared WTP link (one entry per class).
+	SDP []float64
+	// Users is the adaptive population.
+	Users []UserSpec
+	// BackgroundRho adds non-adaptive background load spread over the
+	// classes with the paper's 40/30/20/10 mix.
+	BackgroundRho float64
+	// Period is the adaptation interval in time units.
+	Period float64
+	// DownMargin is the safety factor for downward moves: a user steps
+	// down only if the lower class's observed delay is below
+	// Target/DownMargin (must be > 1).
+	DownMargin float64
+	// Horizon and Seed control the run.
+	Horizon float64
+	Seed    uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period == 0 {
+		c.Period = 5000
+	}
+	if c.DownMargin == 0 {
+		c.DownMargin = 1.5
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if len(cc.SDP) < 2 {
+		return fmt.Errorf("adapt: need at least 2 classes")
+	}
+	if len(cc.Users) == 0 {
+		return fmt.Errorf("adapt: no users")
+	}
+	var rho float64
+	for i, u := range cc.Users {
+		if !(u.Target > 0) || !(u.Rho > 0) {
+			return fmt.Errorf("adapt: user %d needs positive target and rho", i)
+		}
+		if u.InitialClass < 0 || u.InitialClass >= len(cc.SDP) {
+			return fmt.Errorf("adapt: user %d initial class %d out of range", i, u.InitialClass)
+		}
+		rho += u.Rho
+	}
+	if rho+cc.BackgroundRho >= 1 {
+		return fmt.Errorf("adapt: total load %g must be < 1", rho+cc.BackgroundRho)
+	}
+	if !(cc.DownMargin > 1) {
+		return fmt.Errorf("adapt: DownMargin %g must be > 1", cc.DownMargin)
+	}
+	if !(cc.Horizon > 0) || !(cc.Period > 0) || cc.Period >= cc.Horizon {
+		return fmt.Errorf("adapt: need 0 < period < horizon")
+	}
+	return nil
+}
+
+// UserResult summarizes one user's trajectory.
+type UserResult struct {
+	// FinalClass is the class at the end of the run.
+	FinalClass int
+	// Switches counts class changes over the whole run.
+	Switches int
+	// LateSwitches counts class changes in the final quarter of the run
+	// (persistent oscillation shows up here).
+	LateSwitches int
+	// SatisfiedPeriods and Periods count adaptation periods in which the
+	// user had traffic and its average delay met the target.
+	SatisfiedPeriods, Periods int
+	// MeanDelay is the user's mean queueing delay over the final
+	// quarter of the run.
+	MeanDelay float64
+}
+
+// Satisfaction returns the fraction of periods that met the target.
+func (u UserResult) Satisfaction() float64 {
+	if u.Periods == 0 {
+		return 0
+	}
+	return float64(u.SatisfiedPeriods) / float64(u.Periods)
+}
+
+// Result is the DCS simulation outcome.
+type Result struct {
+	Users []UserResult
+	// ClassOccupancy[c] is the number of users ending in class c.
+	ClassOccupancy []int
+	// MeanCost is the average final class index + 1 (a proxy for
+	// tariffs that increase with class).
+	MeanCost float64
+}
+
+// user is the runtime state of an adaptive user.
+type user struct {
+	spec  UserSpec
+	class int
+
+	switches     int
+	lateSwitches int
+	satisfied    int
+	periods      int
+
+	// Current-period accumulators.
+	sum   float64
+	count int
+
+	// Final-quarter delay accumulator.
+	tailSum   float64
+	tailCount int
+}
+
+// Run executes the DCS simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.SDP)
+
+	engine := sim.NewEngine()
+	sched := core.NewWTP(cfg.SDP)
+	l := link.New(engine, link.PaperLinkRate, sched)
+
+	users := make([]*user, len(cfg.Users))
+	for i, spec := range cfg.Users {
+		users[i] = &user{spec: spec, class: spec.InitialClass}
+	}
+
+	// Per-class recent delays, "published" by the network each period
+	// for downward decisions.
+	classSum := make([]float64, n)
+	classCount := make([]int, n)
+	classRecent := make([]float64, n) // last period's averages
+
+	lateStart := cfg.Horizon * 0.75
+	l.OnDepart = func(p *core.Packet) {
+		classSum[p.Class] += p.Wait()
+		classCount[p.Class]++
+		if p.Flow > 0 {
+			u := users[p.Flow-1]
+			u.sum += p.Wait()
+			u.count++
+			if p.Departure >= lateStart {
+				u.tailSum += p.Wait()
+				u.tailCount++
+			}
+		}
+	}
+
+	// User sources: Pareto arrivals at the user's offered load; the
+	// packet class is read from the user's current class at emission
+	// time.
+	sizes := traffic.PaperSizes()
+	for i, u := range users {
+		i, u := i, u
+		lambda := u.spec.Rho * link.PaperLinkRate / sizes.Mean()
+		inter := traffic.NewPareto(1.9, 1/lambda)
+		rng := traffic.NewRNG(cfg.Seed, 0x5eed+uint64(i))
+		var id uint64
+		var emit func()
+		emit = func() {
+			now := engine.Now()
+			id++
+			l.Arrive(&core.Packet{
+				ID:      uint64(i+1)<<40 + id,
+				Class:   u.class,
+				Size:    sizes.Next(rng),
+				Arrival: now,
+				Birth:   now,
+				Flow:    uint64(i + 1),
+			})
+			engine.After(inter.Next(rng), emit)
+		}
+		engine.After(inter.Next(rng), emit)
+	}
+
+	// Background load.
+	if cfg.BackgroundRho > 0 {
+		fracs := make([]float64, n)
+		base := []float64{0.4, 0.3, 0.2, 0.1}
+		var sum float64
+		for c := 0; c < n; c++ {
+			f := 0.1
+			if c < len(base) {
+				f = base[c]
+			}
+			fracs[c] = f
+			sum += f
+		}
+		for c := range fracs {
+			fracs[c] /= sum
+		}
+		bg := traffic.LoadSpec{Rho: cfg.BackgroundRho, Fractions: fracs, Sizes: sizes, Alpha: 1.9}
+		sources, err := bg.Build(link.PaperLinkRate, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		traffic.StartAll(engine, sources, func(p *core.Packet) { l.Arrive(p) })
+	}
+
+	// Adaptation ticks.
+	var tick func()
+	tick = func() {
+		now := engine.Now()
+		for c := 0; c < n; c++ {
+			if classCount[c] > 0 {
+				classRecent[c] = classSum[c] / float64(classCount[c])
+			}
+			classSum[c], classCount[c] = 0, 0
+		}
+		for _, u := range users {
+			if u.count == 0 {
+				u.sum = 0
+				continue
+			}
+			avg := u.sum / float64(u.count)
+			u.periods++
+			if avg <= u.spec.Target {
+				u.satisfied++
+			}
+			switch {
+			case avg > u.spec.Target && u.class < n-1:
+				u.class++
+				u.switches++
+				if now >= lateStart {
+					u.lateSwitches++
+				}
+			case u.class > 0 && classRecent[u.class-1] > 0 &&
+				classRecent[u.class-1] < u.spec.Target/cfg.DownMargin:
+				u.class--
+				u.switches++
+				if now >= lateStart {
+					u.lateSwitches++
+				}
+			}
+			u.sum, u.count = 0, 0
+		}
+		if now+cfg.Period <= cfg.Horizon {
+			engine.After(cfg.Period, tick)
+		}
+	}
+	engine.After(cfg.Period, tick)
+
+	engine.RunUntil(cfg.Horizon)
+
+	res := &Result{ClassOccupancy: make([]int, n)}
+	var cost float64
+	for _, u := range users {
+		ur := UserResult{
+			FinalClass:       u.class,
+			Switches:         u.switches,
+			LateSwitches:     u.lateSwitches,
+			SatisfiedPeriods: u.satisfied,
+			Periods:          u.periods,
+		}
+		if u.tailCount > 0 {
+			ur.MeanDelay = u.tailSum / float64(u.tailCount)
+		} else {
+			ur.MeanDelay = math.NaN()
+		}
+		res.Users = append(res.Users, ur)
+		res.ClassOccupancy[u.class]++
+		cost += float64(u.class + 1)
+	}
+	res.MeanCost = cost / float64(len(users))
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+)
+
+func baseConfig() Config {
+	// 8 users: 4 delay-sensitive (tight 3-p-unit targets), 4 relaxed
+	// (300-p-unit targets); plus background load to 0.9 total.
+	users := make([]UserSpec, 0, 8)
+	for i := 0; i < 4; i++ {
+		users = append(users, UserSpec{Target: 3 * 11.2, Rho: 0.02})
+	}
+	for i := 0; i < 4; i++ {
+		users = append(users, UserSpec{Target: 300 * 11.2, Rho: 0.02})
+	}
+	return Config{
+		SDP:           []float64{1, 2, 4, 8},
+		Users:         users,
+		BackgroundRho: 0.74, // total 0.9
+		Period:        5000,
+		Horizon:       400000,
+		Seed:          2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SDP = []float64{1} },
+		func(c *Config) { c.Users = nil },
+		func(c *Config) { c.Users[0].Target = 0 },
+		func(c *Config) { c.Users[0].Rho = 0 },
+		func(c *Config) { c.Users[0].InitialClass = 9 },
+		func(c *Config) { c.BackgroundRho = 0.95 }, // total >= 1
+		func(c *Config) { c.DownMargin = 0.5 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Period = 1e9 },
+	}
+	for i, mutate := range mutations {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDCSConvergesToSatisfyingAssignment(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 8 {
+		t.Fatalf("users = %d", len(res.Users))
+	}
+
+	// Tight users (0-3) must end strictly higher than relaxed users
+	// (4-7) on average — they bought their way up; relaxed users stay
+	// cheap.
+	var tight, relaxed float64
+	for i, u := range res.Users {
+		if i < 4 {
+			tight += float64(u.FinalClass)
+		} else {
+			relaxed += float64(u.FinalClass)
+		}
+	}
+	tight /= 4
+	relaxed /= 4
+	if !(tight > relaxed) {
+		t.Fatalf("mean final class: tight=%.2f relaxed=%.2f — adaptation did not separate them", tight, relaxed)
+	}
+	if relaxed > 0.5 {
+		t.Errorf("relaxed users climbed to %.2f on average; should stay near class 0", relaxed)
+	}
+
+	// In the second half of the run the users should mostly meet their
+	// targets (the load is feasible for this population).
+	for i, u := range res.Users {
+		if u.Periods == 0 {
+			t.Fatalf("user %d had no active periods", i)
+		}
+		if u.Satisfaction() < 0.5 {
+			t.Errorf("user %d satisfaction %.2f over the run", i, u.Satisfaction())
+		}
+		if math.IsNaN(u.MeanDelay) {
+			t.Errorf("user %d had no tail traffic", i)
+		}
+	}
+
+	// No oscillation storm at equilibrium: late switches bounded.
+	for i, u := range res.Users {
+		if u.LateSwitches > 6 {
+			t.Errorf("user %d still switching at end (%d late switches)", i, u.LateSwitches)
+		}
+	}
+
+	// Cost sanity: mean cost strictly below the max class (not everyone
+	// piled into the top).
+	if res.MeanCost >= 3.5 {
+		t.Errorf("mean cost %.2f — everyone bought the top class", res.MeanCost)
+	}
+	total := 0
+	for _, occ := range res.ClassOccupancy {
+		total += occ
+	}
+	if total != 8 {
+		t.Fatalf("occupancy sums to %d", total)
+	}
+}
+
+func TestDCSDeterministic(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatalf("user %d diverged between same-seed runs", i)
+		}
+	}
+}
+
+func TestDCSNoBackgroundStaysCheap(t *testing.T) {
+	// At trivial load every target is met in class 0: nobody should
+	// move.
+	cfg := Config{
+		SDP: []float64{1, 2, 4, 8},
+		Users: []UserSpec{
+			{Target: 50 * 11.2, Rho: 0.05},
+			{Target: 50 * 11.2, Rho: 0.05},
+		},
+		Period:  5000,
+		Horizon: 100000,
+		Seed:    3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.Users {
+		if u.FinalClass != 0 {
+			t.Errorf("user %d ended in class %d at trivial load", i, u.FinalClass)
+		}
+		if u.Switches != 0 {
+			t.Errorf("user %d switched %d times at trivial load", i, u.Switches)
+		}
+	}
+	if res.MeanCost != 1 {
+		t.Errorf("mean cost %.2f, want 1", res.MeanCost)
+	}
+}

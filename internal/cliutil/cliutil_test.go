@@ -1,0 +1,65 @@
+package cliutil
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats(" 1, 2.5 ,4,8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	for _, bad := range []string{"", " ", "1,x", "1,,2"} {
+		if _, err := ParseFloats(bad); err == nil {
+			t.Errorf("ParseFloats(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatFloats(t *testing.T) {
+	if s := FormatFloats([]float64{1, 2.5}); s != "1,2.5" {
+		t.Fatalf("got %q", s)
+	}
+	if s := FormatFloats(nil); s != "" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := []float64{0.4, 0.3, 0.2, 0.1}
+	out, err := ParseFloats(FormatFloats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("roundtrip %v -> %v", in, out)
+		}
+	}
+}
+
+func FuzzParseFloats(f *testing.F) {
+	f.Add("1,2,4,8")
+	f.Add("")
+	f.Add("1e308,1e-308")
+	f.Add(" -3.5 , nan ,inf")
+	f.Fuzz(func(t *testing.T, s string) {
+		vals, err := ParseFloats(s)
+		if err != nil {
+			return
+		}
+		if len(vals) == 0 {
+			t.Fatal("accepted input produced no values")
+		}
+		// Round trip through FormatFloats must reparse to the same
+		// count.
+		back, err := ParseFloats(FormatFloats(vals))
+		if err != nil || len(back) != len(vals) {
+			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(back), len(vals))
+		}
+	})
+}

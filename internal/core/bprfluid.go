@@ -1,0 +1,141 @@
+package core
+
+import "fmt"
+
+// FluidBPR models the *fluid* Backlog-Proportional Rate server of §4.1
+// directly on per-class backlog amounts, with no packet boundaries. It is
+// the reference model for the packetized BPR scheduler and the subject of
+// Proposition 1: during a busy period with no further arrivals, every
+// backlogged queue drains to zero at the same instant t0 + ΣQ_i/R.
+//
+// Between arrivals the backlogs obey the coupled ODE
+//
+//	dq_i/dt = −R · s_i·q_i / Σ_j s_j·q_j
+//
+// which the Drain method integrates with classic fourth-order Runge-Kutta.
+type FluidBPR struct {
+	sdp  []float64
+	rate float64
+	q    []float64
+	now  float64
+}
+
+// NewFluidBPR returns a fluid BPR server with the given SDPs and rate
+// (work units per time unit).
+func NewFluidBPR(sdp []float64, rate float64) *FluidBPR {
+	ValidateSDPs(sdp)
+	if !(rate > 0) {
+		panic("core: FluidBPR requires a positive rate")
+	}
+	return &FluidBPR{
+		sdp:  append([]float64(nil), sdp...),
+		rate: rate,
+		q:    make([]float64, len(sdp)),
+	}
+}
+
+// Now returns the fluid server's clock.
+func (f *FluidBPR) Now() float64 { return f.now }
+
+// Backlog returns the current backlog of class i.
+func (f *FluidBPR) Backlog(i int) float64 { return f.q[i] }
+
+// TotalBacklog returns the summed backlog over all classes.
+func (f *FluidBPR) TotalBacklog() float64 {
+	var sum float64
+	for _, v := range f.q {
+		sum += v
+	}
+	return sum
+}
+
+// Add injects amount units of class-i work at the current instant.
+func (f *FluidBPR) Add(i int, amount float64) {
+	if amount < 0 {
+		panic(fmt.Sprintf("core: negative fluid amount %g", amount))
+	}
+	f.q[i] += amount
+}
+
+// TimeToEmpty returns the remaining busy-period length with no further
+// arrivals: total backlog divided by the link rate. By Proposition 1, all
+// backlogged queues empty exactly then.
+func (f *FluidBPR) TimeToEmpty() float64 { return f.TotalBacklog() / f.rate }
+
+// Rates returns the instantaneous fluid service rates r_i (Eq. 8 + 9).
+func (f *FluidBPR) Rates() []float64 {
+	r := make([]float64, len(f.q))
+	var denom float64
+	for i, q := range f.q {
+		if q > 0 {
+			denom += f.sdp[i] * q
+		}
+	}
+	if denom == 0 {
+		return r
+	}
+	for i, q := range f.q {
+		if q > 0 {
+			r[i] = f.rate * f.sdp[i] * q / denom
+		}
+	}
+	return r
+}
+
+// Drain advances the fluid server by dt with no arrivals, integrating the
+// backlog ODE in `steps` RK4 substeps. Backlogs are clamped at zero; once
+// the total drops below a vanishing threshold all queues are snapped to
+// empty (they reach zero simultaneously in the exact dynamics).
+func (f *FluidBPR) Drain(dt float64, steps int) {
+	if dt < 0 || steps <= 0 {
+		panic("core: FluidBPR.Drain requires dt >= 0 and steps > 0")
+	}
+	h := dt / float64(steps)
+	n := len(f.q)
+	deriv := func(q []float64) []float64 {
+		d := make([]float64, n)
+		var denom float64
+		for i := range q {
+			if q[i] > 0 {
+				denom += f.sdp[i] * q[i]
+			}
+		}
+		if denom == 0 {
+			return d
+		}
+		for i := range q {
+			if q[i] > 0 {
+				d[i] = -f.rate * f.sdp[i] * q[i] / denom
+			}
+		}
+		return d
+	}
+	addScaled := func(q, d []float64, s float64) []float64 {
+		out := make([]float64, n)
+		for i := range q {
+			out[i] = q[i] + s*d[i]
+			if out[i] < 0 {
+				out[i] = 0
+			}
+		}
+		return out
+	}
+	for s := 0; s < steps; s++ {
+		k1 := deriv(f.q)
+		k2 := deriv(addScaled(f.q, k1, h/2))
+		k3 := deriv(addScaled(f.q, k2, h/2))
+		k4 := deriv(addScaled(f.q, k3, h))
+		for i := range f.q {
+			f.q[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			if f.q[i] < 0 {
+				f.q[i] = 0
+			}
+		}
+	}
+	f.now += dt
+	if f.TotalBacklog() < 1e-9*f.rate {
+		for i := range f.q {
+			f.q[i] = 0
+		}
+	}
+}

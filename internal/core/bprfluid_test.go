@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFluidBPRRatesProportional(t *testing.T) {
+	f := NewFluidBPR([]float64{1, 2, 4}, 100)
+	f.Add(0, 1000)
+	f.Add(1, 500)
+	f.Add(2, 250)
+	r := f.Rates()
+	var sum float64
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("rates sum to %g, want 100 (work conservation, Eq. 9)", sum)
+	}
+	// r_i/r_j = s_i q_i / (s_j q_j): with s·q equal for all classes
+	// (1*1000 = 2*500 = 4*250) the rates must be equal.
+	if math.Abs(r[0]-r[1]) > 1e-9 || math.Abs(r[1]-r[2]) > 1e-9 {
+		t.Fatalf("rates %v, want equal", r)
+	}
+}
+
+func TestFluidBPREmptyRates(t *testing.T) {
+	f := NewFluidBPR([]float64{1, 2}, 10)
+	for _, v := range f.Rates() {
+		if v != 0 {
+			t.Fatal("empty server has nonzero rate")
+		}
+	}
+	if f.TimeToEmpty() != 0 {
+		t.Fatal("empty server has nonzero TimeToEmpty")
+	}
+}
+
+// Proposition 1: all backlogged queues of the fluid BPR server become empty
+// at the same time (t0 + total/R), for arbitrary initial backlogs and SDPs.
+func TestProposition1SimultaneousClearing(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 2 + rng.IntN(4)
+		sdp := make([]float64, n)
+		s := 0.5 + rng.Float64()
+		for i := range sdp {
+			sdp[i] = s
+			// Per-step ratios up to 2 keep the backlog ODE
+			// non-stiff for the fixed-step RK4 integrator; the
+			// property itself holds for any ratios.
+			s *= 1 + rng.Float64()
+		}
+		rate := 10 + rng.Float64()*90
+		fl := NewFluidBPR(sdp, rate)
+		for i := 0; i < n; i++ {
+			fl.Add(i, 10+rng.Float64()*1000)
+		}
+		total := fl.TotalBacklog()
+		end := fl.TimeToEmpty()
+
+		// Just before the predicted clearing time every queue must
+		// still be backlogged...
+		fl2 := NewFluidBPR(sdp, rate)
+		for i := 0; i < n; i++ {
+			fl2.Add(i, fl.Backlog(i))
+		}
+		fl2.Drain(end*0.99, 4000)
+		for i := 0; i < n; i++ {
+			if fl2.Backlog(i) <= 0 {
+				return false // a queue cleared early: violates Prop. 1
+			}
+		}
+		// ...and just after it, every queue must be empty.
+		fl.Drain(end*1.01, 4000)
+		for i := 0; i < n; i++ {
+			if fl.Backlog(i) > total*1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidBPRDrainConservesWorkRate(t *testing.T) {
+	// While all queues are backlogged, total backlog must drain at
+	// exactly R (work conservation) regardless of the SDP split.
+	f := NewFluidBPR([]float64{1, 8}, 40)
+	f.Add(0, 800)
+	f.Add(1, 800)
+	before := f.TotalBacklog()
+	f.Drain(10, 1000)
+	got := before - f.TotalBacklog()
+	if math.Abs(got-400) > 1e-6*before {
+		t.Fatalf("drained %g work in 10tu at rate 40, want 400", got)
+	}
+	if f.Now() != 10 {
+		t.Fatalf("Now = %g, want 10", f.Now())
+	}
+}
+
+func TestFluidBPRHigherSDPDrainsFasterPerByte(t *testing.T) {
+	f := NewFluidBPR([]float64{1, 4}, 100)
+	f.Add(0, 1000)
+	f.Add(1, 1000)
+	f.Drain(5, 1000)
+	// Equal initial backlogs: the s=4 class must have drained more.
+	if !(f.Backlog(1) < f.Backlog(0)) {
+		t.Fatalf("backlogs after drain: low=%g high=%g, want high < low",
+			f.Backlog(0), f.Backlog(1))
+	}
+}
+
+func TestFluidBPRValidation(t *testing.T) {
+	f := NewFluidBPR([]float64{1}, 10)
+	for _, fn := range []func(){
+		func() { NewFluidBPR([]float64{1}, 0) },
+		func() { f.Add(0, -5) },
+		func() { f.Drain(-1, 10) },
+		func() { f.Drain(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPLRDropperEqualizesNormalizedLoss(t *testing.T) {
+	// Feed a stream where every arrival overflows; the dropper should
+	// keep loss fractions close to the 4:2:1 LDP ratios.
+	ldp := []float64{4, 2, 1}
+	d := NewPLRDropper(ldp)
+	s := NewWTP([]float64{1, 2, 4})
+	rng := rand.New(rand.NewPCG(42, 1))
+	// Keep every class permanently backlogged so any class is a valid
+	// victim.
+	for c := 0; c < 3; c++ {
+		s.Enqueue(mkPkt(uint64(c), c, 100, 0), 0)
+	}
+	const total = 30000
+	for i := 0; i < total; i++ {
+		c := rng.IntN(3)
+		d.RecordArrival(c)
+		if i%2 == 0 { // every other arrival forces a drop
+			v := d.Victim(s, c)
+			d.RecordLoss(v)
+		}
+	}
+	// Normalized fractions l_i/sigma_i should be nearly equal.
+	norm := make([]float64, 3)
+	for c := 0; c < 3; c++ {
+		norm[c] = d.LossFraction(c) / ldp[c]
+		if d.Arrivals(c) == 0 {
+			t.Fatalf("class %d saw no arrivals", c)
+		}
+	}
+	for c := 1; c < 3; c++ {
+		r := norm[c] / norm[0]
+		if r < 0.8 || r > 1.25 {
+			t.Fatalf("normalized loss fractions %v not equalized", norm)
+		}
+	}
+	if d.Losses(0) == 0 || d.Losses(2) == 0 {
+		t.Fatal("expected losses in lowest and highest class")
+	}
+}
+
+func TestPLRDropperValidation(t *testing.T) {
+	for _, bad := range [][]float64{{0, 1}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPLRDropper(%v) did not panic", bad)
+				}
+			}()
+			NewPLRDropper(bad)
+		}()
+	}
+}
+
+func TestPLRVictimFallback(t *testing.T) {
+	d := NewPLRDropper([]float64{2, 1})
+	s := NewWTP([]float64{1, 2}) // empty scheduler
+	if got := d.Victim(s, 1); got != 1 {
+		t.Fatalf("Victim fallback = %d, want 1", got)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+// fifo is a growable ring buffer of packets used as a per-class FIFO queue.
+// It avoids the per-element allocation of container/list and the front-pop
+// cost of a plain slice; schedulers pop from the head millions of times per
+// experiment.
+type fifo struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+// Len returns the number of queued packets.
+func (f *fifo) Len() int { return f.n }
+
+// Empty reports whether the queue holds no packets.
+func (f *fifo) Empty() bool { return f.n == 0 }
+
+// Push appends p at the tail.
+func (f *fifo) Push(p *Packet) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.n++
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (f *fifo) Pop() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return p
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (f *fifo) Peek() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	return f.buf[f.head]
+}
+
+// PeekTail returns the most recently pushed packet, or nil if empty.
+func (f *fifo) PeekTail() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	return f.buf[(f.head+f.n-1)%len(f.buf)]
+}
+
+// PopTail removes and returns the most recently pushed packet, or nil if
+// empty. Used by drop-from-tail buffer policies.
+func (f *fifo) PopTail() *Packet {
+	if f.n == 0 {
+		return nil
+	}
+	i := (f.head + f.n - 1) % len(f.buf)
+	p := f.buf[i]
+	f.buf[i] = nil
+	f.n--
+	return p
+}
+
+// At returns the i-th packet from the head (0 = head) without removing it.
+// It panics if i is out of range; callers index only within [0, Len).
+func (f *fifo) At(i int) *Packet {
+	if i < 0 || i >= f.n {
+		panic("core: fifo index out of range")
+	}
+	return f.buf[(f.head+i)%len(f.buf)]
+}
+
+func (f *fifo) grow() {
+	size := len(f.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Packet, size)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	f.buf = buf
+	f.head = 0
+}

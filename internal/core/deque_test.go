@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFifoBasics(t *testing.T) {
+	var f fifo
+	if !f.Empty() || f.Len() != 0 {
+		t.Fatal("zero fifo not empty")
+	}
+	if f.Pop() != nil || f.Peek() != nil || f.PeekTail() != nil || f.PopTail() != nil {
+		t.Fatal("empty fifo returned a packet")
+	}
+	p1 := &Packet{ID: 1}
+	p2 := &Packet{ID: 2}
+	p3 := &Packet{ID: 3}
+	f.Push(p1)
+	f.Push(p2)
+	f.Push(p3)
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if f.Peek() != p1 || f.PeekTail() != p3 {
+		t.Fatal("Peek/PeekTail wrong")
+	}
+	if f.At(0) != p1 || f.At(1) != p2 || f.At(2) != p3 {
+		t.Fatal("At wrong")
+	}
+	if f.Pop() != p1 || f.Pop() != p2 || f.Pop() != p3 || f.Pop() != nil {
+		t.Fatal("Pop order wrong")
+	}
+}
+
+func TestFifoPopTail(t *testing.T) {
+	var f fifo
+	for i := uint64(0); i < 5; i++ {
+		f.Push(&Packet{ID: i})
+	}
+	if f.PopTail().ID != 4 {
+		t.Fatal("PopTail wrong")
+	}
+	if f.Pop().ID != 0 {
+		t.Fatal("Pop after PopTail wrong")
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+}
+
+func TestFifoAtPanics(t *testing.T) {
+	var f fifo
+	f.Push(&Packet{})
+	for _, i := range []int{-1, 1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			f.At(i)
+		}()
+	}
+}
+
+// Property: under any interleaving of pushes and pops (from either end),
+// the ring fifo behaves exactly like a reference slice implementation.
+func TestFifoMatchesReferenceModel(t *testing.T) {
+	f := func(seed uint64, opsCount uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		var ring fifo
+		var ref []*Packet
+		var id uint64
+		ops := int(opsCount%512) + 1
+		for k := 0; k < ops; k++ {
+			switch rng.IntN(5) {
+			case 0, 1, 2: // push (biased so queues grow and wrap)
+				id++
+				p := &Packet{ID: id}
+				ring.Push(p)
+				ref = append(ref, p)
+			case 3: // pop head
+				got := ring.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[0]
+					ref = ref[1:]
+					if got != want {
+						return false
+					}
+				}
+			case 4: // pop tail
+				got := ring.PopTail()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if ring.Len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 && (ring.Peek() != ref[0] || ring.PeekTail() != ref[len(ref)-1]) {
+				return false
+			}
+			for i := range ref {
+				if ring.At(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatRing(t *testing.T) {
+	var r floatRing
+	if r.Len() != 0 {
+		t.Fatal("zero floatRing nonempty")
+	}
+	for i := 0; i < 100; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Peek() != 0 {
+		t.Fatal("Peek wrong")
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != float64(i) {
+			t.Fatalf("Pop #%d = %g", i, got)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pop on empty floatRing did not panic")
+			}
+		}()
+		r.Pop()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Peek on empty floatRing did not panic")
+			}
+		}()
+		r.Peek()
+	}()
+}

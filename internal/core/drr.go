@@ -1,0 +1,107 @@
+package core
+
+// DRR is Deficit Round Robin — the O(1) packetized fair-queueing
+// discipline (Shreedhar & Varghese) — with per-class quanta proportional
+// to the SDPs. Like WFQ it realizes §2.1's *capacity differentiation*:
+// bandwidth shares are controllable, but the resulting delay ratios drift
+// with the class loads, which is exactly the deficiency the proportional
+// schedulers fix. It is included as a second, structurally different
+// member of that family for the ablation experiments.
+type DRR struct {
+	classQueues
+	quantum []float64
+	deficit []float64
+	// active round-robin ring of backlogged classes.
+	ring []int
+	pos  int
+	// topped records whether the class at pos already received its
+	// quantum on this visit; it resets whenever the position rotates.
+	topped bool
+}
+
+// baseQuantum is the smallest class's per-round quantum in bytes; chosen
+// near the largest paper packet so one round typically releases at least
+// one packet per backlogged class.
+const baseQuantum = 1500
+
+// NewDRR returns a deficit-round-robin scheduler whose per-class quanta
+// are proportional to the given weights.
+func NewDRR(weights []float64) *DRR {
+	ValidateSDPs(weights)
+	n := len(weights)
+	s := &DRR{
+		classQueues: newClassQueues(n),
+		quantum:     make([]float64, n),
+		deficit:     make([]float64, n),
+	}
+	for i, w := range weights {
+		s.quantum[i] = baseQuantum * w / weights[0]
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *DRR) Name() string { return "DRR" }
+
+// Enqueue implements Scheduler.
+func (s *DRR) Enqueue(p *Packet, now float64) {
+	wasEmpty := s.q[p.Class].Empty()
+	s.push(p)
+	if wasEmpty {
+		s.ring = append(s.ring, p.Class)
+		s.deficit[p.Class] = 0
+	}
+}
+
+// Dequeue implements Scheduler.
+func (s *DRR) Dequeue(now float64) *Packet {
+	if s.total == 0 {
+		return nil
+	}
+	// Each ring visit grants the class one quantum; if its head still
+	// does not fit, the rotation moves on. The smallest quantum covers
+	// the largest paper packet, so a full pass always releases a packet;
+	// bound the loop defensively regardless.
+	maxIter := 4 * (len(s.ring) + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		if s.pos >= len(s.ring) {
+			s.pos = 0
+			s.topped = false
+		}
+		class := s.ring[s.pos]
+		head := s.q[class].Peek()
+		if head == nil {
+			// Class drained earlier in this round: drop it from
+			// the ring.
+			s.ring = append(s.ring[:s.pos], s.ring[s.pos+1:]...)
+			s.topped = false
+			continue
+		}
+		if !s.topped {
+			s.deficit[class] += s.quantum[class]
+			s.topped = true
+		}
+		if s.deficit[class] < float64(head.Size) {
+			// Even the topped-up deficit does not cover the head:
+			// rotate and let the deficit carry to the next round.
+			s.pos++
+			s.topped = false
+			continue
+		}
+		s.deficit[class] -= float64(head.Size)
+		p := s.pop(class)
+		if s.q[class].Empty() {
+			s.deficit[class] = 0
+			s.ring = append(s.ring[:s.pos], s.ring[s.pos+1:]...)
+			s.topped = false
+		}
+		return p
+	}
+	// Unreachable while total > 0; keep the scheduler safe regardless.
+	for i := range s.q {
+		if !s.q[i].Empty() {
+			return s.pop(i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+// This file implements the loss-differentiation extension the paper defers
+// to future work (§7: "the proportional differentiation model has to be
+// extended in the direction of coupled delay and loss differentiation").
+// PLRDropper realizes the proportional loss rate model
+//
+//	l_i / l_j = σ_i / σ_j
+//
+// where l_i is the long-run loss fraction of class i and σ_1 > σ_2 > ... >
+// σ_N > 0 are Loss Differentiation Parameters (lower classes lose more).
+// When the buffer overflows, the dropper picks as victim the backlogged
+// class whose normalized loss l_i/σ_i is currently smallest, pushing every
+// class toward the common normalized level. This is the natural
+// loss-domain analogue of WTP's delay normalization.
+
+// DropPolicy chooses buffer-overflow victims. The link records every
+// arrival and loss through the policy so it can base decisions on
+// long-run per-class fractions (PLRDropper) or instantaneous state
+// (StrictDropper).
+type DropPolicy interface {
+	// RecordArrival notes a class-i packet arrival (admitted or not).
+	RecordArrival(i int)
+	// Victim returns the class to drop from given the current backlog;
+	// fallback is the arriving packet's class.
+	Victim(s Scheduler, fallback int) int
+	// RecordLoss notes a dropped class-i packet.
+	RecordLoss(i int)
+}
+
+// TailDropper is implemented by schedulers that can evict the most recent
+// packet of a class, enabling push-out buffer management. All per-class
+// schedulers in this package implement it; FCFS does not (its single shared
+// queue has no per-class tail).
+type TailDropper interface {
+	// DropTail removes and returns the most recently enqueued packet of
+	// class i, or nil if that class has no backlog.
+	DropTail(i int) *Packet
+}
+
+// DropTail implements TailDropper for every scheduler embedding
+// classQueues.
+func (c *classQueues) DropTail(i int) *Packet {
+	p := c.q[i].PopTail()
+	if p != nil {
+		c.bytes[i] -= p.Size
+		c.total--
+	}
+	return p
+}
+
+// PLRDropper tracks per-class arrivals and losses and chooses drop victims
+// to keep the class loss fractions ratioed by the LDPs.
+type PLRDropper struct {
+	ldp      []float64
+	arrivals []uint64
+	losses   []uint64
+}
+
+// NewPLRDropper returns a dropper for len(ldp) classes. LDPs must be
+// strictly positive and nonincreasing (higher classes lose less).
+func NewPLRDropper(ldp []float64) *PLRDropper {
+	ValidateClasses(len(ldp))
+	for i, v := range ldp {
+		if !(v > 0) {
+			panic("core: LDPs must be > 0")
+		}
+		if i > 0 && v > ldp[i-1] {
+			panic("core: LDPs must be nonincreasing")
+		}
+	}
+	return &PLRDropper{
+		ldp:      append([]float64(nil), ldp...),
+		arrivals: make([]uint64, len(ldp)),
+		losses:   make([]uint64, len(ldp)),
+	}
+}
+
+// NumClasses returns the class count.
+func (d *PLRDropper) NumClasses() int { return len(d.ldp) }
+
+// RecordArrival notes a class-i packet arrival (call for every arrival,
+// admitted or not).
+func (d *PLRDropper) RecordArrival(i int) { d.arrivals[i]++ }
+
+// Victim returns the class to drop from, given the current scheduler
+// backlog: the backlogged class with the smallest normalized loss fraction
+// (l_i/σ_i). If no class is backlogged it returns fallback. The caller must
+// then call RecordLoss for the class actually dropped.
+func (d *PLRDropper) Victim(s Scheduler, fallback int) int {
+	best := -1
+	var bestNorm float64
+	for i := 0; i < len(d.ldp); i++ {
+		if s.Len(i) == 0 && i != fallback {
+			continue
+		}
+		var frac float64
+		if d.arrivals[i] > 0 {
+			frac = float64(d.losses[i]) / float64(d.arrivals[i])
+		}
+		norm := frac / d.ldp[i]
+		if best == -1 || norm < bestNorm {
+			best, bestNorm = i, norm
+		}
+	}
+	if best == -1 {
+		return fallback
+	}
+	return best
+}
+
+// RecordLoss notes a dropped class-i packet.
+func (d *PLRDropper) RecordLoss(i int) { d.losses[i]++ }
+
+// LossFraction returns the observed loss fraction of class i
+// (0 when the class has no arrivals yet).
+func (d *PLRDropper) LossFraction(i int) float64 {
+	if d.arrivals[i] == 0 {
+		return 0
+	}
+	return float64(d.losses[i]) / float64(d.arrivals[i])
+}
+
+// Arrivals returns the number of class-i arrivals recorded.
+func (d *PLRDropper) Arrivals(i int) uint64 { return d.arrivals[i] }
+
+// Losses returns the number of class-i losses recorded.
+func (d *PLRDropper) Losses(i int) uint64 { return d.losses[i] }
+
+// StrictDropper realizes the loss aspect of strict prioritization (§2.1):
+// "when a packet needs to be dropped, it is from the lowest backlogged
+// class". Like its delay counterpart it is consistent but offers no
+// control over the loss spacing; it is the baseline the PLR dropper is
+// compared against.
+type StrictDropper struct {
+	arrivals []uint64
+	losses   []uint64
+}
+
+// NewStrictDropper returns a strict loss-priority dropper for n classes.
+func NewStrictDropper(n int) *StrictDropper {
+	ValidateClasses(n)
+	return &StrictDropper{arrivals: make([]uint64, n), losses: make([]uint64, n)}
+}
+
+// RecordArrival implements DropPolicy.
+func (d *StrictDropper) RecordArrival(i int) { d.arrivals[i]++ }
+
+// Victim implements DropPolicy: the lowest backlogged class.
+func (d *StrictDropper) Victim(s Scheduler, fallback int) int {
+	for i := 0; i < s.NumClasses(); i++ {
+		if s.Len(i) > 0 {
+			return i
+		}
+	}
+	return fallback
+}
+
+// RecordLoss implements DropPolicy.
+func (d *StrictDropper) RecordLoss(i int) { d.losses[i]++ }
+
+// LossFraction returns the observed loss fraction of class i.
+func (d *StrictDropper) LossFraction(i int) float64 {
+	if d.arrivals[i] == 0 {
+		return 0
+	}
+	return float64(d.losses[i]) / float64(d.arrivals[i])
+}

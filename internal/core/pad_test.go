@@ -1,0 +1,152 @@
+package core
+
+import "testing"
+
+func TestPADServesNeglectedClass(t *testing.T) {
+	// After class 0 accumulates a history of large delays, a fresh
+	// class-1 packet with equal SDP cannot outrank class 0's head: PAD
+	// equalizes long-term normalized averages.
+	s := NewPAD([]float64{1, 1})
+	s.Enqueue(mkPkt(1, 0, 100, 0), 0)
+	s.Enqueue(mkPkt(2, 1, 100, 0), 0)
+	// Serve both at t=10: class 1 first (tie → higher class), then
+	// class 0 at the same instant; both record delay 10.
+	if got := s.Dequeue(10).Class; got != 1 {
+		t.Fatalf("first = class %d, want 1 (tie favors higher)", got)
+	}
+	if got := s.Dequeue(10).Class; got != 0 {
+		t.Fatalf("second = class %d, want 0", got)
+	}
+	// Now class 0's head has waited 30 (avg would be (10+30)/2 = 20),
+	// class 1's waited 34 (avg (10+34)/2 = 22): class 1 wins despite
+	// both heads having similar waits — history matters.
+	s.Enqueue(mkPkt(3, 0, 100, 10), 10)
+	s.Enqueue(mkPkt(4, 1, 100, 6), 6)
+	if got := s.Dequeue(40).ID; got != 4 {
+		t.Fatalf("PAD served %d, want 4 (higher prospective average)", got)
+	}
+}
+
+func TestPADNormalizationBySDP(t *testing.T) {
+	// Equal waits, SDPs 1 vs 3: the high-SDP class's normalized average
+	// is 3x larger, so it is served first.
+	s := NewPAD([]float64{1, 3})
+	s.Enqueue(mkPkt(1, 0, 100, 0), 0)
+	s.Enqueue(mkPkt(2, 1, 100, 0), 0)
+	if got := s.Dequeue(10).Class; got != 1 {
+		t.Fatalf("PAD served class %d, want 1", got)
+	}
+}
+
+func TestHPDInterpolatesWTPAndPAD(t *testing.T) {
+	// g=1 must reproduce WTP's decision; g=0 PAD's.
+	build := func(g float64) *HPD {
+		s := NewHPD([]float64{1, 2}, g)
+		// Give class 0 a big served-delay history so PAD favors it.
+		s.sum[0] = 1000
+		s.count[0] = 1
+		// Class 1's head has waited longer, so WTP favors it.
+		s.Enqueue(mkPkt(1, 0, 100, 8), 8)
+		s.Enqueue(mkPkt(2, 1, 100, 0), 0)
+		return s
+	}
+	if got := build(1).Dequeue(10).Class; got != 1 {
+		t.Fatalf("HPD g=1 served class %d, want 1 (WTP behaviour)", got)
+	}
+	if got := build(0).Dequeue(10).Class; got != 0 {
+		t.Fatalf("HPD g=0 served class %d, want 0 (PAD behaviour)", got)
+	}
+}
+
+func TestHPDValidation(t *testing.T) {
+	if g := NewHPD([]float64{1, 2}, DefaultHPDG).G(); g != DefaultHPDG {
+		t.Fatalf("G() = %g", g)
+	}
+	for _, g := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHPD g=%g did not panic", g)
+				}
+			}()
+			NewHPD([]float64{1, 2}, g)
+		}()
+	}
+}
+
+func TestPADHPDEmptyDequeue(t *testing.T) {
+	if NewPAD([]float64{1, 2}).Dequeue(5) != nil {
+		t.Fatal("PAD dequeued from empty")
+	}
+	if NewHPD([]float64{1, 2}, 0.5).Dequeue(5) != nil {
+		t.Fatal("HPD dequeued from empty")
+	}
+}
+
+func TestDRRSharesBandwidthByWeight(t *testing.T) {
+	// Two saturated classes, weights 1 and 3, equal sizes: class 1 gets
+	// ~3x the service.
+	s := NewDRR([]float64{1, 3})
+	var id uint64
+	for i := 0; i < 600; i++ {
+		id++
+		s.Enqueue(mkPkt(id, 0, 500, 0), 0)
+		id++
+		s.Enqueue(mkPkt(id, 1, 500, 0), 0)
+	}
+	counts := [2]int{}
+	for i := 0; i < 600; i++ {
+		counts[s.Dequeue(float64(i)).Class]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("DRR service ratio = %.2f (counts %v), want ~3", ratio, counts)
+	}
+}
+
+func TestDRRVariablePacketSizesFairInBytes(t *testing.T) {
+	// Class 0 sends 1500-byte packets, class 1 sends 100-byte packets,
+	// equal weights: byte shares should be near equal, so class 1 must
+	// send ~15x as many packets.
+	s := NewDRR([]float64{1, 1})
+	var id uint64
+	for i := 0; i < 200; i++ {
+		id++
+		s.Enqueue(mkPkt(id, 0, 1500, 0), 0)
+	}
+	for i := 0; i < 3000; i++ {
+		id++
+		s.Enqueue(mkPkt(id, 1, 100, 0), 0)
+	}
+	var bytes [2]int64
+	for i := 0; i < 1600; i++ {
+		p := s.Dequeue(float64(i))
+		bytes[p.Class] += p.Size
+	}
+	ratio := float64(bytes[1]) / float64(bytes[0])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("DRR byte share ratio = %.2f (bytes %v), want ~1", ratio, bytes)
+	}
+}
+
+func TestDRRDrainsCompletely(t *testing.T) {
+	s := NewDRR([]float64{1, 2, 4})
+	var id uint64
+	for i := 0; i < 50; i++ {
+		id++
+		s.Enqueue(mkPkt(id, i%3, int64(40+i*7), 0), 0)
+	}
+	served := 0
+	for s.Backlogged() {
+		if s.Dequeue(float64(served)) == nil {
+			t.Fatal("Dequeue returned nil while backlogged")
+		}
+		served++
+	}
+	if served != 50 {
+		t.Fatalf("served %d of 50", served)
+	}
+	if s.Dequeue(999) != nil {
+		t.Fatal("empty DRR dequeued a packet")
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+// Strict is strict prioritization (§2.1): the highest backlogged class is
+// always served first. It gives consistent but *uncontrollable*
+// differentiation — there is no knob for the quality spacing, and low
+// classes can starve under sustained high-class load. It exists here as a
+// baseline for the ablation experiments.
+type Strict struct {
+	classQueues
+}
+
+// NewStrict returns a strict-priority scheduler over n classes
+// (class n-1 is the highest priority).
+func NewStrict(n int) *Strict {
+	return &Strict{classQueues: newClassQueues(n)}
+}
+
+// Name implements Scheduler.
+func (s *Strict) Name() string { return "Strict" }
+
+// Enqueue implements Scheduler.
+func (s *Strict) Enqueue(p *Packet, now float64) { s.push(p) }
+
+// Dequeue implements Scheduler.
+func (s *Strict) Dequeue(now float64) *Packet {
+	for i := len(s.q) - 1; i >= 0; i-- {
+		if !s.q[i].Empty() {
+			return s.pop(i)
+		}
+	}
+	return nil
+}

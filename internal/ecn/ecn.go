@@ -1,0 +1,243 @@
+// Package ecn implements the closed-loop operating regime §3 assumes:
+// "stable and high-utilization operation can be achieved in practice
+// without packet losses only if there is an adequately large number of
+// packet buffers and the sources adjust their rate successfully using the
+// ECN bit set by congested routers". It provides a marking queue-monitor
+// for the simulated link and AIMD rate-controlled sources reacting to the
+// marks, so the lossless heavy-load regime of the paper's evaluation is
+// *produced* by congestion control rather than assumed.
+package ecn
+
+import (
+	"fmt"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/sim"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// Marker marks departing packets when the queue is congested, modeling a
+// router setting the ECN CE bit. The decision uses the packet's own
+// queueing delay: delay above Threshold means the packet sat in a
+// congested queue. (Per-delay marking is the DiffServ-friendly analogue
+// of a queue-length threshold and needs no scheduler introspection.)
+type Marker struct {
+	// Threshold is the queueing delay (time units) above which a
+	// departing packet is marked.
+	Threshold float64
+	marked    uint64
+	seen      uint64
+}
+
+// Observe inspects a departing packet and reports whether it is marked.
+func (m *Marker) Observe(p *core.Packet) bool {
+	m.seen++
+	if p.Wait() > m.Threshold {
+		m.marked++
+		return true
+	}
+	return false
+}
+
+// MarkFraction returns the fraction of observed packets marked.
+func (m *Marker) MarkFraction() float64 {
+	if m.seen == 0 {
+		return 0
+	}
+	return float64(m.marked) / float64(m.seen)
+}
+
+// SourceConfig describes one AIMD source.
+type SourceConfig struct {
+	// Class is the source's service class.
+	Class int
+	// InitialRate is the starting sending rate in bytes per time unit.
+	InitialRate float64
+	// MinRate floors the rate (bytes per time unit).
+	MinRate float64
+}
+
+// Config describes a closed-loop single-link simulation.
+type Config struct {
+	// SDP configures the WTP scheduler.
+	SDP []float64
+	// Sources is the AIMD population.
+	Sources []SourceConfig
+	// LinkRate is in bytes per time unit (default link.PaperLinkRate).
+	LinkRate float64
+	// MarkThreshold is the marking delay threshold in time units
+	// (default 20 p-units).
+	MarkThreshold float64
+	// Increase is the additive rate increment applied each control
+	// period without marks (bytes per time unit; default LinkRate/200).
+	Increase float64
+	// Decrease is the multiplicative back-off factor on a mark
+	// (default 0.85).
+	Decrease float64
+	// Period is the control interval (default 50 p-units).
+	Period float64
+	// Buffer bounds the queue in packets (default 4096); drops count as
+	// failures of the regime.
+	Buffer int
+	// Horizon and Warmup are in time units.
+	Horizon, Warmup float64
+	// Seed drives packet sizes.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkRate == 0 {
+		c.LinkRate = link.PaperLinkRate
+	}
+	if c.MarkThreshold == 0 {
+		c.MarkThreshold = 20 * link.PUnit
+	}
+	if c.Increase == 0 {
+		c.Increase = c.LinkRate / 200
+	}
+	if c.Decrease == 0 {
+		c.Decrease = 0.85
+	}
+	if c.Period == 0 {
+		c.Period = 50 * link.PUnit
+	}
+	if c.Buffer == 0 {
+		c.Buffer = 4096
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if len(cc.SDP) < 1 {
+		return fmt.Errorf("ecn: no SDPs")
+	}
+	if len(cc.Sources) == 0 {
+		return fmt.Errorf("ecn: no sources")
+	}
+	for i, s := range cc.Sources {
+		if s.Class < 0 || s.Class >= len(cc.SDP) {
+			return fmt.Errorf("ecn: source %d class %d out of range", i, s.Class)
+		}
+		if !(s.InitialRate > 0) || !(s.MinRate > 0) || s.MinRate > s.InitialRate {
+			return fmt.Errorf("ecn: source %d needs 0 < MinRate <= InitialRate", i)
+		}
+	}
+	if !(cc.Decrease > 0 && cc.Decrease < 1) {
+		return fmt.Errorf("ecn: Decrease %g must be in (0,1)", cc.Decrease)
+	}
+	if !(cc.Horizon > 0) || cc.Warmup < 0 || cc.Warmup >= cc.Horizon {
+		return fmt.Errorf("ecn: need 0 <= warmup < horizon")
+	}
+	return nil
+}
+
+// Result summarizes a closed-loop run.
+type Result struct {
+	// Utilization is the realized link utilization.
+	Utilization float64
+	// Dropped counts buffer losses (the regime's failure metric).
+	Dropped uint64
+	// MarkFraction is the fraction of departures marked.
+	MarkFraction float64
+	// Delays holds post-warm-up per-class queueing delays.
+	Delays *stats.ClassDelays
+	// FinalRates are the per-source rates at the end of the run.
+	FinalRates []float64
+}
+
+// Run executes the closed-loop simulation: AIMD sources sharing one WTP
+// link with ECN marking.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.SDP)
+
+	engine := sim.NewEngine()
+	sched := core.NewWTP(cfg.SDP)
+	l := link.New(engine, cfg.LinkRate, sched)
+	l.MaxPackets = cfg.Buffer
+
+	marker := &Marker{Threshold: cfg.MarkThreshold}
+	delays := stats.NewClassDelays(n)
+
+	// Per-source state: current rate, and whether any of its packets
+	// was marked since its last control action.
+	rates := make([]float64, len(cfg.Sources))
+	markedSince := make([]bool, len(cfg.Sources))
+	for i, s := range cfg.Sources {
+		rates[i] = s.InitialRate
+	}
+
+	l.OnDepart = func(p *core.Packet) {
+		marked := marker.Observe(p)
+		if p.Departure >= cfg.Warmup {
+			delays.Observe(p)
+		}
+		if marked && p.Flow > 0 {
+			// Feedback is instantaneous in-sim: the congestion
+			// signal reaches the source with the departure. A
+			// round-trip delay would only slow convergence.
+			markedSince[p.Flow-1] = true
+		}
+	}
+
+	sizes := traffic.PaperSizes()
+	for i, s := range cfg.Sources {
+		i, s := i, s
+		rng := traffic.NewRNG(cfg.Seed, 0xec4+uint64(i))
+		var id uint64
+		var emit func()
+		emit = func() {
+			now := engine.Now()
+			id++
+			size := sizes.Next(rng)
+			l.Arrive(&core.Packet{
+				ID:      uint64(i+1)<<40 + id,
+				Class:   s.Class,
+				Size:    size,
+				Arrival: now,
+				Birth:   now,
+				Flow:    uint64(i + 1),
+			})
+			// Paced sending: next packet after size/rate.
+			engine.After(float64(size)/rates[i], emit)
+		}
+		engine.After(float64(i+1)*0.1, emit)
+	}
+
+	// AIMD control loop.
+	var control func()
+	control = func() {
+		for i, s := range cfg.Sources {
+			if markedSince[i] {
+				rates[i] *= cfg.Decrease
+				if rates[i] < s.MinRate {
+					rates[i] = s.MinRate
+				}
+				markedSince[i] = false
+			} else {
+				rates[i] += cfg.Increase
+			}
+		}
+		if engine.Now()+cfg.Period <= cfg.Horizon {
+			engine.After(cfg.Period, control)
+		}
+	}
+	engine.After(cfg.Period, control)
+
+	engine.RunUntil(cfg.Horizon)
+
+	return &Result{
+		Utilization:  l.Utilization(),
+		Dropped:      l.Dropped(),
+		MarkFraction: marker.MarkFraction(),
+		Delays:       delays,
+		FinalRates:   append([]float64(nil), rates...),
+	}, nil
+}

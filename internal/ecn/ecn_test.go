@@ -1,0 +1,134 @@
+package ecn
+
+import (
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+)
+
+func baseConfig() Config {
+	// 8 greedy sources, two per class, starting slow.
+	var sources []SourceConfig
+	for c := 0; c < 4; c++ {
+		for k := 0; k < 2; k++ {
+			sources = append(sources, SourceConfig{
+				Class:       c,
+				InitialRate: link.PaperLinkRate / 32,
+				MinRate:     link.PaperLinkRate / 256,
+			})
+		}
+	}
+	return Config{
+		SDP:     []float64{1, 2, 4, 8},
+		Sources: sources,
+		Horizon: 600000,
+		Warmup:  200000,
+		Seed:    6,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.SDP = nil },
+		func(c *Config) { c.Sources = nil },
+		func(c *Config) { c.Sources[0].Class = 9 },
+		func(c *Config) { c.Sources[0].InitialRate = 0 },
+		func(c *Config) { c.Sources[0].MinRate = c.Sources[0].InitialRate * 2 },
+		func(c *Config) { c.Decrease = 1.5 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Warmup = 1e9 },
+	}
+	for i, mutate := range mutations {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// The §3 regime: AIMD + ECN sources must drive the link to high
+// utilization with zero loss, and WTP must still deliver proportional
+// differentiation under the resulting closed-loop traffic.
+func TestClosedLoopReachesLosslessHeavyLoad(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.85 {
+		t.Fatalf("utilization = %.3f, want >= 0.85 (AIMD failed to fill the link)", res.Utilization)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d packets — the lossless ECN regime failed", res.Dropped)
+	}
+	if res.MarkFraction <= 0 {
+		t.Fatal("no packets were ever marked; marking threshold never reached")
+	}
+	// Proportional differentiation under closed-loop load: ordered
+	// delays with meaningful ratios.
+	for c := 0; c+1 < 4; c++ {
+		lo, hi := res.Delays.Mean(c), res.Delays.Mean(c+1)
+		if !(lo > hi) {
+			t.Fatalf("class %d delay %.1f not above class %d delay %.1f", c+1, lo, c+2, hi)
+		}
+	}
+	r := res.Delays.SuccessiveRatios()
+	for i, v := range r {
+		if v < 1.3 || v > 3.0 {
+			t.Errorf("closed-loop ratio[%d] = %.2f, want in [1.3,3.0] (target 2)", i, v)
+		}
+	}
+	if len(res.FinalRates) != 8 {
+		t.Fatal("final rates missing")
+	}
+}
+
+// With a single source and a huge link, the source just additively climbs:
+// no marks, no drops, rate strictly above its start.
+func TestClosedLoopUncongested(t *testing.T) {
+	cfg := Config{
+		SDP: []float64{1, 2},
+		Sources: []SourceConfig{
+			{Class: 1, InitialRate: 0.5, MinRate: 0.1},
+		},
+		LinkRate: 1e6,
+		Increase: 0.5,
+		Horizon:  50000,
+		Warmup:   1000,
+		Seed:     1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MarkFraction != 0 || res.Dropped != 0 {
+		t.Fatalf("uncongested run marked/dropped: %+v", res)
+	}
+	if res.FinalRates[0] <= 0.5 {
+		t.Fatalf("rate did not increase: %v", res.FinalRates)
+	}
+}
+
+func TestMarkerThreshold(t *testing.T) {
+	m := &Marker{Threshold: 10}
+	mk := func(wait float64) *core.Packet {
+		return &core.Packet{Arrival: 0, Start: wait, Departure: wait + 1}
+	}
+	if m.Observe(mk(5)) {
+		t.Fatal("under-threshold packet marked")
+	}
+	if !m.Observe(mk(20)) {
+		t.Fatal("over-threshold packet not marked")
+	}
+	if m.MarkFraction() != 0.5 {
+		t.Fatalf("MarkFraction = %g", m.MarkFraction())
+	}
+	empty := &Marker{Threshold: 1}
+	if empty.MarkFraction() != 0 {
+		t.Fatal("empty marker fraction not 0")
+	}
+}

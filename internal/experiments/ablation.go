@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/traffic"
+)
+
+// AblationPoint compares one relative-differentiation mechanism (§2.1) at
+// one operating point.
+type AblationPoint struct {
+	Scheduler core.Kind
+	Rho       float64
+	Fractions []float64
+	// Ratios are the successive-class mean-delay ratios.
+	Ratios []float64
+	// Diffs are the successive-class mean-delay differences in p-units
+	// (the additive model's natural metric, Eq. 3).
+	Diffs []float64
+}
+
+// AblationRhos are the utilizations swept by the ablation.
+var AblationRhos = []float64{0.75, 0.85, 0.95}
+
+// ablationDistributions contrasts the default split with a high-skewed one
+// (where load-insensitive mechanisms show their value).
+var ablationDistributions = [][]float64{
+	{0.40, 0.30, 0.20, 0.10},
+	{0.10, 0.10, 0.10, 0.70},
+}
+
+// Ablation quantifies the §2.1 comparison of relative differentiation
+// mechanisms: strict priority (consistent but uncontrollable), WFQ with
+// static SDP weights (bandwidth-controllable but delay ratios drift with
+// the load distribution), the additive scheduler (constant differences,
+// not ratios), and WTP/BPR (the proportional schedulers).
+func Ablation(scale Scale) ([]AblationPoint, error) {
+	kinds := []core.Kind{core.KindWTP, core.KindBPR, core.KindStrict, core.KindWFQ, core.KindDRR, core.KindAdditive}
+	var out []AblationPoint
+	for _, fractions := range ablationDistributions {
+		for _, rho := range AblationRhos {
+			load := traffic.LoadSpec{
+				Rho:       rho,
+				Fractions: fractions,
+				Sizes:     traffic.PaperSizes(),
+				Alpha:     1.9,
+			}
+			for _, kind := range kinds {
+				sdp := PaperSDPx2
+				if kind == core.KindAdditive {
+					// Additive offsets are absolute
+					// priorities in time units; spacing of
+					// ~30 p-units per class step gives
+					// visible differences at these loads.
+					sdp = []float64{1, 340, 680, 1020}
+				}
+				delays, err := runAveraged(kind, sdp, load, scale)
+				if err != nil {
+					return nil, err
+				}
+				diffs := make([]float64, 0, 3)
+				for c := 0; c+1 < 4; c++ {
+					diffs = append(diffs, (delays.Mean(c)-delays.Mean(c+1))/link.PUnit)
+				}
+				out = append(out, AblationPoint{
+					Scheduler: kind,
+					Rho:       rho,
+					Fractions: fractions,
+					Ratios:    delays.SuccessiveRatios(),
+					Diffs:     diffs,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteAblationTSV renders the ablation as a TSV table.
+func WriteAblationTSV(w io.Writer, points []AblationPoint) error {
+	if _, err := fmt.Fprintln(w, "# Section 2.1 ablation: relative differentiation mechanisms (proportional target ratio 2.0)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\trho\tdistribution\tr12\tr23\tr34\tdiff12_pu\tdiff23_pu\tdiff34_pu"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.2f\t%.0f/%.0f/%.0f/%.0f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\n",
+			p.Scheduler, p.Rho,
+			p.Fractions[0]*100, p.Fractions[1]*100, p.Fractions[2]*100, p.Fractions[3]*100,
+			p.Ratios[0], p.Ratios[1], p.Ratios[2],
+			p.Diffs[0], p.Diffs[1], p.Diffs[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/traffic"
+)
+
+// tiny is even smaller than Bench so the whole experiment suite stays
+// test-friendly.
+var tiny = Scale{
+	Seeds:             1,
+	Horizon:           3e4,
+	Warmup:            3e3,
+	FeasHorizon:       3e4,
+	StudyBSeeds:       1,
+	StudyBExperiments: 3,
+	StudyBWarmup:      2,
+}
+
+func TestFig1ShapeAndRender(t *testing.T) {
+	points, err := Fig1(PaperSDPx2, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Utilizations)*2 {
+		t.Fatalf("points = %d, want %d", len(points), len(Utilizations)*2)
+	}
+	for _, p := range points {
+		if len(p.Ratios) != 3 || len(p.MeanDelayPU) != 4 {
+			t.Fatalf("point shape wrong: %+v", p)
+		}
+		// At this tiny scale moderate-load points are noisy (the
+		// paper itself reports both schedulers deviate at ρ=0.70),
+		// so only require positive ratios everywhere and correct
+		// ordering for WTP under heavy load.
+		for _, r := range p.Ratios {
+			if r <= 0 {
+				t.Fatalf("%s rho=%.2f ratios=%v: nonpositive ratio",
+					p.Scheduler, p.Rho, p.Ratios)
+			}
+		}
+		if p.Scheduler == core.KindWTP && p.Rho >= 0.95 {
+			for _, r := range p.Ratios {
+				if r <= 1.2 {
+					t.Fatalf("WTP rho=%.3f ratios=%v: differentiation too weak",
+						p.Rho, p.Ratios)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFig1TSV(&buf, points, 2); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(points)+2 {
+		t.Fatalf("TSV lines = %d", lines)
+	}
+}
+
+// WTP's heavy-load convergence to the inverse SDP ratios (Eq. 13) is the
+// paper's central result; check it quantitatively at ρ=0.95 with a real
+// (not tiny) run length.
+func TestFig1WTPHeavyLoadConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy-load convergence needs a full-length run")
+	}
+	scale := Scale{Seeds: 3, Horizon: 5e5, Warmup: 5e4}
+	points, err := Fig1(PaperSDPx2, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Scheduler != core.KindWTP || p.Rho != 0.95 {
+			continue
+		}
+		for i, r := range p.Ratios {
+			if r < 1.75 || r > 2.3 {
+				t.Errorf("WTP rho=0.95 ratio[%d] = %.3f, want ≈2 (Eq. 13)", i, r)
+			}
+		}
+	}
+}
+
+func TestFig2ShapeAndRender(t *testing.T) {
+	points, err := Fig2(PaperSDPx2, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig2Distributions)*2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var buf bytes.Buffer
+	if err := WriteFig2TSV(&buf, points, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "40/30/20/10") {
+		t.Fatal("TSV missing distribution label")
+	}
+}
+
+func TestFig3ShapeAndRender(t *testing.T) {
+	points, err := Fig3(PaperSDPx2, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig3Taus)*2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if len(p.Percentiles) != 5 || p.Intervals == 0 {
+			t.Fatalf("point shape wrong: %+v", p)
+		}
+		// Percentiles are nondecreasing by construction.
+		for i := 1; i < 5; i++ {
+			if p.Percentiles[i] < p.Percentiles[i-1] {
+				t.Fatalf("percentiles not sorted: %v", p.Percentiles)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFig3TSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10000") {
+		t.Fatal("TSV missing tau=10000 row")
+	}
+}
+
+func TestMicroBothSchedulers(t *testing.T) {
+	var results []*MicroResult
+	for _, kind := range []core.Kind{core.KindBPR, core.KindWTP} {
+		r, err := Micro(kind, tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.ViewII) == 0 {
+			t.Fatalf("%s: empty view II", kind)
+		}
+		if len(r.ViewI.Series(0)) == 0 {
+			t.Fatalf("%s: empty view I", kind)
+		}
+		results = append(results, r)
+	}
+	var buf bytes.Buffer
+	if err := WriteMicroSummaryTSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := WriteMicroSeriesCSV(&csv, results[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "view II") {
+		t.Fatal("CSV missing view II section")
+	}
+}
+
+func TestTable1ShapeAndRender(t *testing.T) {
+	cells, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	for _, c := range cells {
+		if c.RD <= 0 {
+			t.Fatalf("cell %+v has nonpositive RD", c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1TSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != 6 { // header comment + header + 4 rows
+		t.Fatalf("table rows wrong:\n%s", out)
+	}
+}
+
+func TestFeasibilityAllPointsFeasible(t *testing.T) {
+	points, err := Feasibility(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (len(Utilizations) + len(Fig2Distributions)) * 2
+	if len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if !p.Feasible {
+			t.Errorf("%s sdp-ratio %.0f infeasible (slack %.4f)", p.Label, p.SDPRatio, p.WorstSlack)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFeasibilityTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig1 rho=0.999") {
+		t.Fatal("TSV missing fig1 rows")
+	}
+}
+
+func TestAblationShapeAndRender(t *testing.T) {
+	points, err := Ablation(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(AblationRhos)*6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	var buf bytes.Buffer
+	if err := WriteAblationTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"wtp", "bpr", "strict", "wfq", "drr", "additive"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("TSV missing %s rows", name)
+		}
+	}
+}
+
+func TestLossExtension(t *testing.T) {
+	points, err := Loss(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 8 (4 operating points x 2 policies)", len(points))
+	}
+	lossy := 0
+	for _, p := range points {
+		if p.TotalLossFraction <= 0 {
+			// A mild overload may not fill the larger buffer at
+			// this tiny scale; skip such points but require that
+			// the harsh ones below do lose.
+			continue
+		}
+		lossy++
+		// Loss fractions ordered like the LDPs under both policies:
+		// lower classes lose more.
+		for c := 0; c+1 < 4; c++ {
+			if p.LossFraction[c] < p.LossFraction[c+1] {
+				t.Errorf("%s rho=%.2f buf=%d: class %d loss %.4f < class %d loss %.4f",
+					p.Policy, p.Rho, p.Buffer, c+1, p.LossFraction[c], c+2, p.LossFraction[c+1])
+			}
+		}
+		switch p.Policy {
+		case "plr":
+			// Normalized ratios near 1 (proportional loss model).
+			for c, r := range p.NormalizedRatios {
+				if r < 0.5 || r > 2.0 {
+					t.Errorf("plr rho=%.2f buf=%d class %d normalized ratio %.2f far from 1",
+						p.Rho, p.Buffer, c+1, r)
+				}
+			}
+		case "strict":
+			// Strict loss priority concentrates drops on the
+			// lowest class: its loss fraction dwarfs the top
+			// class's.
+			if p.LossFraction[3] > 0 && p.LossFraction[0]/p.LossFraction[3] < 4 {
+				t.Errorf("strict rho=%.2f buf=%d: loss spread too even: %v",
+					p.Rho, p.Buffer, p.LossFraction)
+			}
+		}
+	}
+	if lossy < 4 {
+		t.Fatalf("only %d of %d overloaded points lost packets", lossy, len(points))
+	}
+	var buf bytes.Buffer
+	if err := WriteLossTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1.20") {
+		t.Fatal("TSV missing rho=1.20 rows")
+	}
+}
+
+func TestModerateShapeAndRender(t *testing.T) {
+	points, err := Moderate(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(ModerateRhos)*len(ModerateSchedulers) {
+		t.Fatalf("points = %d", len(points))
+	}
+	var buf bytes.Buffer
+	if err := WriteModerateTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pad") || !strings.Contains(buf.String(), "hpd") {
+		t.Fatal("TSV missing pad/hpd rows")
+	}
+}
+
+// PAD's defining property: it holds the target ratio at moderate load
+// where WTP undershoots (§7's open question, answered by the follow-up
+// schedulers). Needs a real run length.
+func TestPADModerateLoadAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a full-length run")
+	}
+	scale := Scale{Seeds: 2, Horizon: 4e5, Warmup: 4e4}
+	get := func(kind core.Kind) []float64 {
+		delays, err := runAveraged(kind, PaperSDPx2, traffic.PaperLoad(0.80), scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delays.SuccessiveRatios()
+	}
+	pad := get(core.KindPAD)
+	wtp := get(core.KindWTP)
+	// WTP undershoots at ρ=0.80 (paper: ~1.6-1.7); PAD holds ≈2 for
+	// the first two pairs (the 3/4 pair sits near the feasibility
+	// boundary at this load).
+	for i := 0; i < 2; i++ {
+		if pad[i] < 1.8 || pad[i] > 2.2 {
+			t.Errorf("PAD ratio[%d] = %.3f, want ≈2", i, pad[i])
+		}
+		if wtp[i] > 1.85 {
+			t.Errorf("WTP ratio[%d] = %.3f unexpectedly accurate at ρ=0.80", i, wtp[i])
+		}
+	}
+}
+
+func TestPathSchedShapeAndRender(t *testing.T) {
+	points, err := PathSched(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(PathSchedulers) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.RD <= 0 || len(p.MeanE2EMs) != 4 {
+			t.Fatalf("point shape wrong: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePathSchedTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "strict") {
+		t.Fatal("TSV missing strict row")
+	}
+}
+
+func TestHPDGShapeAndRender(t *testing.T) {
+	points, err := HPDG(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(HPDGs) {
+		t.Fatalf("points = %d", len(points))
+	}
+	var g0, g1 HPDGPoint
+	for _, p := range points {
+		if p.G == 0 {
+			g0 = p
+		}
+		if p.G == 1 {
+			g1 = p
+		}
+	}
+	// The defining trade-off: pure PAD (g=0) has the best long-term
+	// accuracy but by far the worst short-timescale spread.
+	if !(g0.LongTermErr < g1.LongTermErr) {
+		t.Errorf("long-term: g=0 err %.3f not below g=1 err %.3f", g0.LongTermErr, g1.LongTermErr)
+	}
+	if !(g0.ShortSpread > 2*g1.ShortSpread) {
+		t.Errorf("short-term: g=0 spread %.3f not far above g=1 spread %.3f", g0.ShortSpread, g1.ShortSpread)
+	}
+	var buf bytes.Buffer
+	if err := WriteHPDGTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.875") {
+		t.Fatal("TSV missing g=0.875 row")
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/link"
+	"pdds/internal/model"
+	"pdds/internal/traffic"
+)
+
+// FeasibilityPoint is one operating point's Eq. (7) verdict.
+type FeasibilityPoint struct {
+	Label string
+	// SDPRatio identifies which DDP set was checked (2 or 4).
+	SDPRatio float64
+	Feasible bool
+	// WorstSlack is the tightest subset inequality's relative margin.
+	WorstSlack float64
+	// AggregateDelayPU is the measured FCFS aggregate delay in p-units.
+	AggregateDelayPU float64
+}
+
+// Feasibility verifies, as §3 prescribes, that the Figure 1 and Figure 2
+// operating points use feasible DDPs: every utilization of the Figure 1
+// sweep and every Figure 2 distribution is checked against the
+// Coffman–Mitrani conditions for both SDP sets.
+func Feasibility(scale Scale) ([]FeasibilityPoint, error) {
+	var out []FeasibilityPoint
+	type ddpSet struct {
+		ratio float64
+		sdp   []float64
+	}
+	sets := []ddpSet{{2, PaperSDPx2}, {4, PaperSDPx4}}
+
+	check := func(label string, load traffic.LoadSpec, set ddpSet) error {
+		tr, err := traffic.Record(load, link.PaperLinkRate, scale.FeasHorizon, BaseSeed)
+		if err != nil {
+			return err
+		}
+		rep, err := model.CheckDDPs(tr, link.PaperLinkRate, model.DDPsFromSDPs(set.sdp))
+		if err != nil {
+			return err
+		}
+		out = append(out, FeasibilityPoint{
+			Label:            label,
+			SDPRatio:         set.ratio,
+			Feasible:         rep.Feasible(),
+			WorstSlack:       rep.WorstSlack(),
+			AggregateDelayPU: rep.AggregateDelay / link.PUnit,
+		})
+		return nil
+	}
+
+	for _, rho := range Utilizations {
+		for _, set := range sets {
+			if err := check(fmt.Sprintf("fig1 rho=%.3f", rho), traffic.PaperLoad(rho), set); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, fractions := range Fig2Distributions {
+		load := traffic.LoadSpec{
+			Rho:       Fig2Rho,
+			Fractions: fractions,
+			Sizes:     traffic.PaperSizes(),
+			Alpha:     1.9,
+		}
+		label := fmt.Sprintf("fig2 %.0f/%.0f/%.0f/%.0f",
+			fractions[0]*100, fractions[1]*100, fractions[2]*100, fractions[3]*100)
+		for _, set := range sets {
+			if err := check(label, load, set); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteFeasibilityTSV renders feasibility points as a TSV table.
+func WriteFeasibilityTSV(w io.Writer, points []FeasibilityPoint) error {
+	if _, err := fmt.Fprintln(w, "# Section 3: Eq. (7) feasibility of the Figure 1/2 operating points"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "operating_point\tsdp_ratio\tfeasible\tworst_slack\tagg_delay_pu"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.0f\t%v\t%.4f\t%.2f\n",
+			p.Label, p.SDPRatio, p.Feasible, p.WorstSlack, p.AggregateDelayPU); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// Fig1Point is one point of Figure 1: the long-term average-delay ratios
+// between successive classes for one scheduler at one utilization.
+type Fig1Point struct {
+	Scheduler core.Kind
+	Rho       float64
+	// Ratios[i] is mean-delay(class i) / mean-delay(class i+1),
+	// aggregated over all seeds.
+	Ratios []float64
+	// MeanDelayPU is the per-class mean delay in p-units (context for
+	// the "delays are realistic" discussion in §5).
+	MeanDelayPU []float64
+}
+
+// runAveraged merges per-class delays over scale.Seeds independent runs of
+// the given configuration (the paper's "averaging over ten simulation runs
+// with different seeds"). Seeds run on separate goroutines — each run is an
+// isolated deterministic simulation — and are merged in seed order, so the
+// result is identical to a serial sweep.
+func runAveraged(kind core.Kind, sdp []float64, load traffic.LoadSpec, scale Scale) (*stats.ClassDelays, error) {
+	results := make([]*stats.ClassDelays, scale.Seeds)
+	errs := make([]error, scale.Seeds)
+	var wg sync.WaitGroup
+	for s := 0; s < scale.Seeds; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := link.Run(link.RunConfig{
+				Kind:    kind,
+				SDP:     sdp,
+				Load:    load,
+				Horizon: scale.Horizon,
+				Warmup:  scale.Warmup,
+				Seed:    BaseSeed + uint64(s),
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			results[s] = res.Delays
+		}()
+	}
+	wg.Wait()
+	merged := stats.NewClassDelays(len(sdp))
+	for s := 0; s < scale.Seeds; s++ {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		merged.Merge(results[s])
+	}
+	return merged, nil
+}
+
+// Fig1 sweeps utilization for WTP and BPR with the given SDPs and returns
+// the successive-class delay ratios (Figure 1-a with PaperSDPx2, 1-b with
+// PaperSDPx4).
+func Fig1(sdp []float64, scale Scale) ([]Fig1Point, error) {
+	var out []Fig1Point
+	for _, rho := range Utilizations {
+		for _, kind := range []core.Kind{core.KindWTP, core.KindBPR} {
+			delays, err := runAveraged(kind, sdp, traffic.PaperLoad(rho), scale)
+			if err != nil {
+				return nil, err
+			}
+			pu := make([]float64, len(sdp))
+			for c := range pu {
+				pu[c] = delays.Mean(c) / link.PUnit
+			}
+			out = append(out, Fig1Point{
+				Scheduler:   kind,
+				Rho:         rho,
+				Ratios:      delays.SuccessiveRatios(),
+				MeanDelayPU: pu,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig1TSV renders Figure 1 points as a TSV table.
+func WriteFig1TSV(w io.Writer, points []Fig1Point, targetRatio float64) error {
+	if _, err := fmt.Fprintf(w, "# Figure 1: avg-delay ratios of successive classes vs utilization (desired ratio %.1f)\n", targetRatio); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\trho\tr12\tr23\tr34\td1_pu\td2_pu\td3_pu\td4_pu"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			p.Scheduler, p.Rho, p.Ratios[0], p.Ratios[1], p.Ratios[2],
+			p.MeanDelayPU[0], p.MeanDelayPU[1], p.MeanDelayPU[2], p.MeanDelayPU[3]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

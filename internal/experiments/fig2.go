@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/traffic"
+)
+
+// Fig2Distributions are the seven class-load distributions of Figure 2.
+// The exact seven tuples are not legible in the available copy of the
+// paper (they are printed vertically inside the bars), so this set spans
+// the same design space the paper's discussion requires: the uniform
+// split, the default 40/30/20/10, its reverse, heavy skew toward the
+// lowest and highest class, and two-sided splits. The paper's conclusions
+// (WTP insensitive to the distribution; BPR inaccurate when some classes
+// carry more load than others, worst for heavily skewed splits) are
+// checkable against any such spanning set.
+var Fig2Distributions = [][]float64{
+	{0.25, 0.25, 0.25, 0.25},
+	{0.40, 0.30, 0.20, 0.10},
+	{0.10, 0.20, 0.30, 0.40},
+	{0.70, 0.10, 0.10, 0.10},
+	{0.10, 0.10, 0.10, 0.70},
+	{0.40, 0.40, 0.10, 0.10},
+	{0.10, 0.10, 0.40, 0.40},
+}
+
+// Fig2Rho is the fixed utilization of Figure 2.
+const Fig2Rho = 0.95
+
+// Fig2Point is one bar group of Figure 2.
+type Fig2Point struct {
+	Scheduler core.Kind
+	Fractions []float64
+	Ratios    []float64
+}
+
+// Fig2 measures the successive-class delay ratios for each load
+// distribution at 95% utilization (Figure 2-a with PaperSDPx2, 2-b with
+// PaperSDPx4).
+func Fig2(sdp []float64, scale Scale) ([]Fig2Point, error) {
+	var out []Fig2Point
+	for _, fractions := range Fig2Distributions {
+		load := traffic.LoadSpec{
+			Rho:       Fig2Rho,
+			Fractions: fractions,
+			Sizes:     traffic.PaperSizes(),
+			Alpha:     1.9,
+		}
+		for _, kind := range []core.Kind{core.KindWTP, core.KindBPR} {
+			delays, err := runAveraged(kind, sdp, load, scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig2Point{
+				Scheduler: kind,
+				Fractions: fractions,
+				Ratios:    delays.SuccessiveRatios(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig2TSV renders Figure 2 points as a TSV table.
+func WriteFig2TSV(w io.Writer, points []Fig2Point, targetRatio float64) error {
+	if _, err := fmt.Fprintf(w, "# Figure 2: avg-delay ratios across class load distributions at rho=%.2f (desired ratio %.1f)\n", Fig2Rho, targetRatio); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\tdistribution\tr12\tr23\tr34"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.0f/%.0f/%.0f/%.0f\t%.3f\t%.3f\t%.3f\n",
+			p.Scheduler,
+			p.Fractions[0]*100, p.Fractions[1]*100, p.Fractions[2]*100, p.Fractions[3]*100,
+			p.Ratios[0], p.Ratios[1], p.Ratios[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// Fig3Taus are the four monitoring timescales of Figure 3, in p-units.
+var Fig3Taus = []float64{10, 100, 1000, 10000}
+
+// Fig3Rho is the utilization of Figure 3.
+const Fig3Rho = 0.95
+
+// Fig3Point summarizes the distribution of the short-timescale ratio R_D
+// for one scheduler and one monitoring timescale.
+type Fig3Point struct {
+	Scheduler core.Kind
+	// TauPU is the monitoring timescale in p-units.
+	TauPU float64
+	// Percentiles holds the 5/25/50/75/95 percentiles of R_D across
+	// all intervals of all seeds.
+	Percentiles []float64
+	// Intervals is the number of R_D values summarized.
+	Intervals int
+}
+
+// Fig3 measures R_D percentiles for WTP and BPR at each monitoring
+// timescale (Figure 3), pooling intervals across seeds.
+func Fig3(sdp []float64, scale Scale) ([]Fig3Point, error) {
+	var out []Fig3Point
+	for _, kind := range []core.Kind{core.KindWTP, core.KindBPR} {
+		trackers := make([]*stats.IntervalRD, len(Fig3Taus))
+		for i, tau := range Fig3Taus {
+			trackers[i] = stats.NewIntervalRD(tau*link.PUnit, len(sdp))
+		}
+		for s := 0; s < scale.Seeds; s++ {
+			// Fresh trackers per seed would reset interval
+			// alignment; instead pool by observing every seed's
+			// departures into per-seed trackers and merging the
+			// samples.
+			seedTrackers := make([]*stats.IntervalRD, len(Fig3Taus))
+			observers := make([]func(*core.Packet), len(Fig3Taus))
+			for i, tau := range Fig3Taus {
+				st := stats.NewIntervalRD(tau*link.PUnit, len(sdp))
+				seedTrackers[i] = st
+				observers[i] = func(p *core.Packet) {
+					if p.Departure >= scale.Warmup {
+						st.Observe(p)
+					}
+				}
+			}
+			_, err := link.Run(link.RunConfig{
+				Kind:      kind,
+				SDP:       sdp,
+				Load:      traffic.PaperLoad(Fig3Rho),
+				Horizon:   scale.Horizon,
+				Warmup:    scale.Warmup,
+				Seed:      BaseSeed + uint64(s),
+				Observers: observers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, st := range seedTrackers {
+				st.Finish()
+				// Pool this seed's R_D values.
+				for _, v := range st.RD().Values() {
+					trackers[i].RD().Add(v)
+				}
+			}
+		}
+		for i, tau := range Fig3Taus {
+			sample := trackers[i].RD()
+			if sample.Len() == 0 {
+				return nil, fmt.Errorf("experiments: no R_D intervals for %s tau=%g", kind, tau)
+			}
+			out = append(out, Fig3Point{
+				Scheduler:   kind,
+				TauPU:       tau,
+				Percentiles: sample.Quantiles(stats.FivePercentiles...),
+				Intervals:   sample.Len(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteFig3TSV renders Figure 3 points as a TSV table.
+func WriteFig3TSV(w io.Writer, points []Fig3Point) error {
+	if _, err := fmt.Fprintf(w, "# Figure 3: percentiles of R_D per monitoring timescale at rho=%.2f (desired ratio 2.0)\n", Fig3Rho); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\ttau_pu\tp5\tp25\tp50\tp75\tp95\tintervals"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%d\n",
+			p.Scheduler, p.TauPU,
+			p.Percentiles[0], p.Percentiles[1], p.Percentiles[2], p.Percentiles[3], p.Percentiles[4],
+			p.Intervals); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// The HPD g-sweep maps the design space between PAD (g=0, long-term
+// accurate, short-term poor) and WTP (g=1, short-term accurate, sags at
+// moderate load): for each mixing factor it measures the long-term ratio
+// error at a moderate load and the short-timescale R_D spread at heavy
+// load. The follow-up literature's recommended g≈0.875 should sit near the
+// knee.
+
+// HPDGPoint is one mixing factor's scores.
+type HPDGPoint struct {
+	G float64
+	// LongTermErr is the mean absolute deviation of the three
+	// successive-class ratios from the target 2.0, at ρ=0.80.
+	LongTermErr float64
+	// ShortSpread is the 5–95 percentile spread of R_D at τ=100
+	// p-units, ρ=0.95.
+	ShortSpread float64
+}
+
+// HPDGs are the swept mixing factors.
+var HPDGs = []float64{0, 0.25, 0.5, 0.75, 0.875, 1}
+
+// HPDG runs the sweep.
+func HPDG(scale Scale) ([]HPDGPoint, error) {
+	var out []HPDGPoint
+	for _, g := range HPDGs {
+		// Long-term accuracy at moderate load.
+		longErr, err := hpdLongTermErr(g, scale)
+		if err != nil {
+			return nil, err
+		}
+		// Short-timescale spread at heavy load.
+		spread, err := hpdShortSpread(g, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HPDGPoint{G: g, LongTermErr: longErr, ShortSpread: spread})
+	}
+	return out, nil
+}
+
+// hpdRun executes one run with an explicitly-constructed HPD scheduler.
+// link.Run constructs schedulers by kind, which would pin g to the
+// default, so this driver drives the engine directly.
+func hpdRun(g float64, rho, horizon, warmup float64, observers []func(*core.Packet)) (*stats.ClassDelays, error) {
+	return runCustom(core.NewHPD(PaperSDPx2, g), rho, horizon, warmup, observers)
+}
+
+func hpdLongTermErr(g float64, scale Scale) (float64, error) {
+	delays, err := hpdRun(g, 0.80, scale.Horizon, scale.Warmup, nil)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, r := range delays.SuccessiveRatios() {
+		d := r - 2
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 3, nil
+}
+
+func hpdShortSpread(g float64, scale Scale) (float64, error) {
+	rd := stats.NewIntervalRD(100*link.PUnit, len(PaperSDPx2))
+	warm := scale.Warmup
+	_, err := hpdRun(g, 0.95, scale.Horizon, scale.Warmup, []func(*core.Packet){
+		func(p *core.Packet) {
+			if p.Departure >= warm {
+				rd.Observe(p)
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	rd.Finish()
+	if rd.RD().Len() == 0 {
+		return 0, fmt.Errorf("experiments: no R_D intervals in HPD g-sweep")
+	}
+	q := rd.RD().Quantiles(0.05, 0.95)
+	return q[1] - q[0], nil
+}
+
+// runCustom drives a single-link run with a pre-built scheduler (the
+// counterpart of link.Run for schedulers that need non-default
+// construction).
+func runCustom(sched core.Scheduler, rho, horizon, warmup float64, observers []func(*core.Packet)) (*stats.ClassDelays, error) {
+	res, err := link.RunWithScheduler(sched, link.RunConfig{
+		Kind:      core.KindHPD, // informational; scheduler overrides
+		SDP:       PaperSDPx2,
+		Load:      traffic.PaperLoad(rho),
+		Horizon:   horizon,
+		Warmup:    warmup,
+		Seed:      BaseSeed,
+		Observers: observers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Delays, nil
+}
+
+// WriteHPDGTSV renders the g-sweep.
+func WriteHPDGTSV(w io.Writer, points []HPDGPoint) error {
+	if _, err := fmt.Fprintln(w, "# Extension: HPD mixing factor sweep — long-term |ratio-2| at rho=0.80 vs R_D p5-p95 spread (tau=100pu) at rho=0.95"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "g\tlongterm_err\tshort_spread"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.3f\t%.3f\t%.3f\n", p.G, p.LongTermErr, p.ShortSpread); err != nil {
+			return err
+		}
+	}
+	return nil
+}

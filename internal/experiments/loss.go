@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/traffic"
+)
+
+// This file implements the loss-differentiation extension (§7 lists
+// coupled delay and loss differentiation as the main future-work
+// direction): a finite-buffer WTP link whose overflow victims are chosen
+// by the proportional-loss (PLR) dropper, so that class loss *fractions*
+// are ratioed by the loss differentiation parameters just as class delays
+// are ratioed by the DDPs.
+
+// LossLDP are the loss differentiation parameters of the extension
+// experiment: class 1 loses 4x class 2, etc. (nonincreasing, §7's analogue
+// of δ1 > δ2 > ...).
+var LossLDP = []float64{8, 4, 2, 1}
+
+// LossPoint is one operating point of the loss-differentiation experiment.
+type LossPoint struct {
+	// Policy names the dropper ("plr" or "strict").
+	Policy string
+	Rho    float64
+	Buffer int
+	// LossFraction is the measured per-class loss fraction.
+	LossFraction []float64
+	// NormalizedRatios are (l_i/σ_i)/(l_N/σ_N): 1.0 everywhere under
+	// ideal proportional loss differentiation.
+	NormalizedRatios []float64
+	// DelayRatios are the surviving packets' successive-class delay
+	// ratios, showing delay differentiation persists under loss.
+	DelayRatios []float64
+	// TotalLossFraction is overall drops/arrivals.
+	TotalLossFraction float64
+}
+
+// lossBuffers are the shared-buffer sizes (packets) swept by the
+// experiment. Small buffers force losses at overload.
+var lossBuffers = []int{50, 200}
+
+// lossRhos overload the link so drops must happen (the lossless §3 model
+// no longer applies).
+var lossRhos = []float64{1.05, 1.20}
+
+// Loss runs the proportional loss-differentiation extension: an
+// overloaded WTP link with a finite shared buffer and the PLR push-out
+// dropper.
+func Loss(scale Scale) ([]LossPoint, error) {
+	var out []LossPoint
+	for _, buffer := range lossBuffers {
+		for _, rho := range lossRhos {
+			for _, policy := range []string{"plr", "strict"} {
+				point, err := lossRun(scale, policy, rho, buffer)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, *point)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lossRun executes one overloaded finite-buffer run under the named drop
+// policy.
+func lossRun(scale Scale, policy string, rho float64, buffer int) (*LossPoint, error) {
+	var dropper core.DropPolicy
+	var fraction func(int) float64
+	switch policy {
+	case "plr":
+		d := core.NewPLRDropper(LossLDP)
+		dropper, fraction = d, d.LossFraction
+	case "strict":
+		d := core.NewStrictDropper(len(LossLDP))
+		dropper, fraction = d, d.LossFraction
+	default:
+		return nil, fmt.Errorf("experiments: unknown drop policy %q", policy)
+	}
+	res, err := link.Run(link.RunConfig{
+		Kind: core.KindWTP,
+		SDP:  PaperSDPx2,
+		Load: traffic.LoadSpec{
+			Rho:       rho,
+			Fractions: []float64{0.40, 0.30, 0.20, 0.10},
+			Sizes:     traffic.PaperSizes(),
+			Alpha:     1.9,
+		},
+		Horizon:    scale.Horizon,
+		Warmup:     scale.Warmup,
+		Seed:       BaseSeed,
+		MaxPackets: buffer,
+		Dropper:    dropper,
+	})
+	if err != nil {
+		return nil, err
+	}
+	point := &LossPoint{
+		Policy:      policy,
+		Rho:         rho,
+		Buffer:      buffer,
+		DelayRatios: res.Delays.SuccessiveRatios(),
+	}
+	var totalArrivals float64
+	var weighted float64
+	for c := range LossLDP {
+		point.LossFraction = append(point.LossFraction, fraction(c))
+	}
+	// Total loss fraction from the link counters.
+	totalArrivals = float64(res.Generated)
+	weighted = float64(res.Dropped)
+	if totalArrivals > 0 {
+		point.TotalLossFraction = weighted / totalArrivals
+	}
+	ref := fraction(len(LossLDP)-1) / LossLDP[len(LossLDP)-1]
+	for c := range LossLDP {
+		norm := 0.0
+		if ref > 0 {
+			norm = fraction(c) / LossLDP[c] / ref
+		}
+		point.NormalizedRatios = append(point.NormalizedRatios, norm)
+	}
+	return point, nil
+}
+
+// WriteLossTSV renders the loss-differentiation extension as a TSV table.
+func WriteLossTSV(w io.Writer, points []LossPoint) error {
+	if _, err := fmt.Fprintf(w, "# Extension (§7): proportional loss differentiation, WTP + PLR push-out, LDP %v\n", LossLDP); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "policy\trho\tbuffer\tloss1\tloss2\tloss3\tloss4\tnorm1\tnorm2\tnorm3\tnorm4\ttotal_loss\tr12\tr23\tr34"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.2f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.2f\t%.2f\t%.2f\t%.2f\t%.4f\t%.2f\t%.2f\t%.2f\n",
+			p.Policy, p.Rho, p.Buffer,
+			p.LossFraction[0], p.LossFraction[1], p.LossFraction[2], p.LossFraction[3],
+			p.NormalizedRatios[0], p.NormalizedRatios[1], p.NormalizedRatios[2], p.NormalizedRatios[3],
+			p.TotalLossFraction,
+			p.DelayRatios[0], p.DelayRatios[1], p.DelayRatios[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/core"
+	"pdds/internal/traffic"
+)
+
+// The moderate-load experiment targets §5's main negative finding —
+// "neither scheduler manages to maintain the proportional delay
+// differentiation in moderate loads" (ratio ≈1.5 instead of 2 at ρ=0.70)
+// — and §7's open question about an optimal proportional scheduler. It
+// compares WTP and BPR against the follow-up PAD and HPD schedulers at
+// moderate utilizations: PAD/HPD hold the target ratio essentially
+// everywhere the model is feasible.
+
+// ModeratePoint is one (scheduler, utilization) cell.
+type ModeratePoint struct {
+	Scheduler core.Kind
+	Rho       float64
+	Ratios    []float64
+}
+
+// ModerateRhos are the utilizations swept (the paper's problematic range
+// plus one heavy point for reference).
+var ModerateRhos = []float64{0.70, 0.80, 0.90, 0.95}
+
+// ModerateSchedulers are compared.
+var ModerateSchedulers = []core.Kind{core.KindWTP, core.KindBPR, core.KindPAD, core.KindHPD}
+
+// Moderate measures long-term successive-class delay ratios for each
+// scheduler across moderate utilizations (SDP ratio 2; target ratio 2).
+func Moderate(scale Scale) ([]ModeratePoint, error) {
+	var out []ModeratePoint
+	for _, rho := range ModerateRhos {
+		for _, kind := range ModerateSchedulers {
+			delays, err := runAveraged(kind, PaperSDPx2, traffic.PaperLoad(rho), scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ModeratePoint{
+				Scheduler: kind,
+				Rho:       rho,
+				Ratios:    delays.SuccessiveRatios(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteModerateTSV renders the moderate-load comparison as a TSV table.
+func WriteModerateTSV(w io.Writer, points []ModeratePoint) error {
+	if _, err := fmt.Fprintln(w, "# Extension (§7): moderate-load accuracy of WTP/BPR vs PAD/HPD (target ratio 2.0)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\trho\tr12\tr23\tr34"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%.3f\t%.3f\n",
+			p.Scheduler, p.Rho, p.Ratios[0], p.Ratios[1], p.Ratios[2]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pdds/internal/core"
+	"pdds/internal/network"
+)
+
+// PathSched extends Study B beyond the paper: §6 runs WTP only ("since it
+// performs better than BPR"), an assertion carried over from the
+// single-link study. This experiment quantifies it end to end by running
+// the same Table 1 configuration under every proportional scheduler plus
+// the strict baseline.
+
+// PathSchedPoint is one scheduler's end-to-end result.
+type PathSchedPoint struct {
+	Scheduler core.Kind
+	// RD is the Table 1 metric (ideal 2.0 for SDP 1/2/4/8).
+	RD float64
+	// Inconsistent and Material count percentile inversions (total and
+	// >5% ones).
+	Inconsistent int
+	Material     int
+	// MeanE2EMs is the per-class mean end-to-end queueing delay in
+	// milliseconds.
+	MeanE2EMs []float64
+}
+
+// PathSchedulers are compared end to end.
+var PathSchedulers = []core.Kind{core.KindWTP, core.KindBPR, core.KindPAD, core.KindHPD, core.KindStrict}
+
+// PathSched runs the K=4, ρ=0.95, F=10, R_u=50 Study B cell under each
+// scheduler, seeds pooled.
+func PathSched(scale Scale) ([]PathSchedPoint, error) {
+	type out struct {
+		res *network.Result
+		err error
+	}
+	results := make([][]out, len(PathSchedulers))
+	var wg sync.WaitGroup
+	for ki, kind := range PathSchedulers {
+		results[ki] = make([]out, scale.StudyBSeeds)
+		for s := 0; s < scale.StudyBSeeds; s++ {
+			ki, s, kind := ki, s, kind
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := network.Run(network.Config{
+					Hops:        4,
+					Rho:         0.95,
+					SDP:         PaperSDPx2,
+					Scheduler:   kind,
+					FlowPackets: 10,
+					FlowKbps:    50,
+					Experiments: scale.StudyBExperiments,
+					WarmupSec:   scale.StudyBWarmup,
+					Seed:        BaseSeed + uint64(s),
+				})
+				results[ki][s] = out{res, err}
+			}()
+		}
+	}
+	wg.Wait()
+	var points []PathSchedPoint
+	for ki, kind := range PathSchedulers {
+		p := PathSchedPoint{Scheduler: kind}
+		var meanSums []float64
+		for _, r := range results[ki] {
+			if r.err != nil {
+				return nil, fmt.Errorf("%s: %w", kind, r.err)
+			}
+			p.RD += r.res.RD
+			p.Inconsistent += r.res.Inconsistent
+			p.Material += r.res.InconsistentMaterial
+			if meanSums == nil {
+				meanSums = make([]float64, len(r.res.MeanE2E))
+			}
+			for c, d := range r.res.MeanE2E {
+				meanSums[c] += d
+			}
+		}
+		p.RD /= float64(scale.StudyBSeeds)
+		for _, s := range meanSums {
+			p.MeanE2EMs = append(p.MeanE2EMs, s/float64(scale.StudyBSeeds)*1000)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// WritePathSchedTSV renders the end-to-end scheduler comparison.
+func WritePathSchedTSV(w io.Writer, points []PathSchedPoint) error {
+	if _, err := fmt.Fprintln(w, "# Extension: Study B (K=4, rho=0.95, F=10, Ru=50) under each scheduler (R_D ideal 2.00)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "scheduler\tRD\tinconsistent\tinc>5%\te2e_ms_c1\te2e_ms_c2\te2e_ms_c3\te2e_ms_c4"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%.3f\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			p.Scheduler, p.RD, p.Inconsistent, p.Material,
+			p.MeanE2EMs[0], p.MeanE2EMs[1], p.MeanE2EMs[2], p.MeanE2EMs[3]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

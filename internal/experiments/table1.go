@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pdds/internal/network"
+)
+
+// Table1Cell is one cell of Table 1: the end-to-end ratio metric R_D for
+// one (F, R_u, K, rho) combination, averaged over seeds.
+type Table1Cell struct {
+	FlowPackets int
+	FlowKbps    float64
+	Hops        int
+	Rho         float64
+	// RD is the Table 1 metric averaged over seeds (ideal: 2.0).
+	RD float64
+	// Inconsistent totals inconsistent percentile comparisons across
+	// seeds (the paper reports zero); Material counts those where the
+	// higher class was >5% worse.
+	Inconsistent int
+	Material     int
+	// Seeds is the number of runs averaged.
+	Seeds int
+}
+
+// Table1Rows are the paper's row parameters (K, rho); Table1Cols the
+// column parameters (F, R_u).
+var (
+	Table1Rows = []struct {
+		Hops int
+		Rho  float64
+	}{
+		{4, 0.85}, {4, 0.95}, {8, 0.85}, {8, 0.95},
+	}
+	Table1Cols = []struct {
+		Packets int
+		Kbps    float64
+	}{
+		{10, 50}, {10, 200}, {100, 50}, {100, 200},
+	}
+)
+
+// Table1 reproduces Table 1: Study B across all 16 parameter combinations.
+func Table1(scale Scale) ([]Table1Cell, error) {
+	// Every (cell, seed) run is independent; fan all of them out and
+	// reduce in deterministic order.
+	type cellKey struct{ row, col int }
+	type runOut struct {
+		res *network.Result
+		err error
+	}
+	runs := make(map[cellKey][]runOut)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for ri, row := range Table1Rows {
+		for ci, col := range Table1Cols {
+			key := cellKey{ri, ci}
+			runs[key] = make([]runOut, scale.StudyBSeeds)
+			for s := 0; s < scale.StudyBSeeds; s++ {
+				ri, ci, s := ri, ci, s
+				row, col := row, col
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, err := network.Run(network.Config{
+						Hops:        row.Hops,
+						Rho:         row.Rho,
+						SDP:         PaperSDPx2,
+						FlowPackets: col.Packets,
+						FlowKbps:    col.Kbps,
+						Experiments: scale.StudyBExperiments,
+						WarmupSec:   scale.StudyBWarmup,
+						Seed:        BaseSeed + uint64(s),
+					})
+					mu.Lock()
+					runs[cellKey{ri, ci}][s] = runOut{res, err}
+					mu.Unlock()
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	var out []Table1Cell
+	for ri, row := range Table1Rows {
+		for ci, col := range Table1Cols {
+			var rdSum float64
+			var inconsistent, material int
+			for _, r := range runs[cellKey{ri, ci}] {
+				if r.err != nil {
+					return nil, r.err
+				}
+				rdSum += r.res.RD
+				inconsistent += r.res.Inconsistent
+				material += r.res.InconsistentMaterial
+			}
+			out = append(out, Table1Cell{
+				FlowPackets:  col.Packets,
+				FlowKbps:     col.Kbps,
+				Hops:         row.Hops,
+				Rho:          row.Rho,
+				RD:           rdSum / float64(scale.StudyBSeeds),
+				Inconsistent: inconsistent,
+				Material:     material,
+				Seeds:        scale.StudyBSeeds,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WriteTable1TSV renders Table 1 in the paper's layout (rows: K and rho;
+// columns: F and R_u) plus the inconsistency totals.
+func WriteTable1TSV(w io.Writer, cells []Table1Cell) error {
+	if _, err := fmt.Fprintln(w, "# Table 1: end-to-end R_D metric (ideal 2.00); 'inc' counts inconsistent percentile comparisons (paper: zero)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "K\trho\tF=10,Ru=50\tF=10,Ru=200\tF=100,Ru=50\tF=100,Ru=200\tinc\tinc>5%"); err != nil {
+		return err
+	}
+	byKey := map[[4]int]Table1Cell{}
+	for _, c := range cells {
+		byKey[[4]int{c.Hops, int(c.Rho * 100), c.FlowPackets, int(c.FlowKbps)}] = c
+	}
+	for _, row := range Table1Rows {
+		inc, mat := 0, 0
+		line := fmt.Sprintf("%d\t%.2f", row.Hops, row.Rho)
+		for _, col := range Table1Cols {
+			c, ok := byKey[[4]int{row.Hops, int(row.Rho * 100), col.Packets, int(col.Kbps)}]
+			if !ok {
+				return fmt.Errorf("experiments: missing Table 1 cell K=%d rho=%g F=%d Ru=%g",
+					row.Hops, row.Rho, col.Packets, col.Kbps)
+			}
+			line += fmt.Sprintf("\t%.2f", c.RD)
+			inc += c.Inconsistent
+			mat += c.Material
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%d\t%d\n", line, inc, mat); err != nil {
+			return err
+		}
+	}
+	return nil
+}

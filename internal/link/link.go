@@ -1,0 +1,173 @@
+// Package link drives a core.Scheduler as the output queue of a simulated
+// work-conserving transmission link, and provides the single-link
+// experiment harness used throughout Study A (§5).
+package link
+
+import (
+	"fmt"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+)
+
+// Link is a work-conserving output link: arriving packets enter the
+// scheduler; whenever the transmitter is free and a packet is backlogged,
+// the scheduler picks one and the link transmits it at Rate bytes per time
+// unit. Infinite buffering is the paper's §3 lossless model (ECN-governed
+// sources); set MaxPackets for the finite-buffer extension.
+type Link struct {
+	engine *sim.Engine
+	rate   float64
+	sched  core.Scheduler
+
+	// OnDepart, if set, observes every packet as its transmission
+	// completes (Start/Departure/QueueingDelay already filled in).
+	OnDepart func(*core.Packet)
+
+	// MaxPackets bounds the total queued packets (0 = unbounded). On
+	// overflow the victim is chosen by Dropper if set (push-out PLR
+	// policy), else the arriving packet is dropped (drop-tail).
+	MaxPackets int
+	// Dropper selects overflow victims (proportional or strict loss
+	// differentiation); optional.
+	Dropper core.DropPolicy
+	// OnDrop, if set, observes dropped packets.
+	OnDrop func(*core.Packet)
+
+	busy      bool
+	busySince float64
+	busyTime  float64
+	departed  uint64
+	dropped   uint64
+	txBytes   int64
+}
+
+// New returns a link on the engine with the given rate (bytes per time
+// unit) and scheduler.
+func New(engine *sim.Engine, rate float64, sched core.Scheduler) *Link {
+	if engine == nil || sched == nil {
+		panic("link: nil engine or scheduler")
+	}
+	if !(rate > 0) {
+		panic(fmt.Sprintf("link: rate %g must be > 0", rate))
+	}
+	return &Link{engine: engine, rate: rate, sched: sched}
+}
+
+// Rate returns the link rate in bytes per time unit.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Scheduler returns the attached scheduler.
+func (l *Link) Scheduler() core.Scheduler { return l.sched }
+
+// Departed returns the number of completed transmissions.
+func (l *Link) Departed() uint64 { return l.departed }
+
+// Dropped returns the number of packets lost to buffer overflow.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// BusyTime returns the cumulative transmitter busy time (updated through
+// the current instant).
+func (l *Link) BusyTime() float64 {
+	if l.busy {
+		return l.busyTime + (l.engine.Now() - l.busySince)
+	}
+	return l.busyTime
+}
+
+// Utilization returns BusyTime divided by elapsed simulation time.
+func (l *Link) Utilization() float64 {
+	now := l.engine.Now()
+	if now == 0 {
+		return 0
+	}
+	return l.BusyTime() / now
+}
+
+// TxBytes returns the total bytes transmitted.
+func (l *Link) TxBytes() int64 { return l.txBytes }
+
+// Busy reports whether a transmission is in progress.
+func (l *Link) Busy() bool { return l.busy }
+
+// Arrive delivers a packet to the link at the current simulation time.
+// It restamps the packet's hop-local Arrival, so the same packet object can
+// traverse multiple links (Study B).
+func (l *Link) Arrive(p *core.Packet) {
+	now := l.engine.Now()
+	p.Arrival = now
+	if l.Dropper != nil {
+		l.Dropper.RecordArrival(p.Class)
+	}
+	if l.MaxPackets > 0 && l.totalQueued() >= l.MaxPackets {
+		l.drop(p)
+		return
+	}
+	l.sched.Enqueue(p, now)
+	if !l.busy {
+		l.startService()
+	}
+}
+
+func (l *Link) totalQueued() int {
+	total := 0
+	for i := 0; i < l.sched.NumClasses(); i++ {
+		total += l.sched.Len(i)
+	}
+	return total
+}
+
+// drop handles a buffer overflow for arriving packet p.
+func (l *Link) drop(p *core.Packet) {
+	victim := p
+	if l.Dropper != nil {
+		class := l.Dropper.Victim(l.sched, p.Class)
+		if class != p.Class {
+			if td, ok := l.sched.(core.TailDropper); ok {
+				if evicted := td.DropTail(class); evicted != nil {
+					// Push out the victim and admit p.
+					l.sched.Enqueue(p, l.engine.Now())
+					victim = evicted
+				}
+			}
+		}
+		l.Dropper.RecordLoss(victim.Class)
+	}
+	l.dropped++
+	if l.OnDrop != nil {
+		l.OnDrop(victim)
+	}
+	if victim != p && !l.busy {
+		l.startService()
+	}
+}
+
+func (l *Link) startService() {
+	now := l.engine.Now()
+	p := l.sched.Dequeue(now)
+	if p == nil {
+		return
+	}
+	l.busy = true
+	l.busySince = now
+	p.Start = now
+	txTime := float64(p.Size) / l.rate
+	l.engine.After(txTime, func() { l.finish(p) })
+}
+
+func (l *Link) finish(p *core.Packet) {
+	now := l.engine.Now()
+	p.Departure = now
+	p.QueueingDelay += p.Wait()
+	p.Hops++
+	l.departed++
+	l.txBytes += p.Size
+	l.busyTime += now - l.busySince
+	l.busy = false
+	if l.OnDepart != nil {
+		l.OnDepart(p)
+	}
+	if l.sched.Backlogged() {
+		l.startService()
+	}
+}

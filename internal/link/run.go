@@ -1,0 +1,163 @@
+package link
+
+import (
+	"fmt"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// PaperLinkRate is the Study A link rate in bytes per time unit, chosen so
+// the mean 441-byte packet takes one "p-unit" of 11.2 time units (§5).
+const PaperLinkRate = 441.0 / 11.2
+
+// PUnit is the average packet transmission time of Study A in time units.
+const PUnit = 11.2
+
+// RunConfig describes one single-link simulation run.
+type RunConfig struct {
+	// Kind selects the scheduler; SDP are its differentiation
+	// parameters (one per class).
+	Kind core.Kind
+	SDP  []float64
+	// Load is the offered workload.
+	Load traffic.LoadSpec
+	// LinkRate is the link speed in bytes per time unit
+	// (default PaperLinkRate).
+	LinkRate float64
+	// Horizon is the simulated duration in time units.
+	Horizon float64
+	// Warmup discards packets departing before this time from the
+	// result statistics (observers still see them).
+	Warmup float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Observers see every departing packet (before warm-up filtering);
+	// used for interval trackers and series capture.
+	Observers []func(*core.Packet)
+	// MaxPackets and Dropper configure the finite-buffer extension;
+	// zero/nil reproduces the paper's lossless model.
+	MaxPackets int
+	Dropper    core.DropPolicy
+	// CalendarQueue backs the engine with the calendar queue instead of
+	// the binary heap. The two structures are order-equivalent, so
+	// results are bit-identical; the calendar is faster for large
+	// pending-event sets.
+	CalendarQueue bool
+}
+
+func (c *RunConfig) withDefaults() RunConfig {
+	out := *c
+	if out.LinkRate == 0 {
+		out.LinkRate = PaperLinkRate
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c *RunConfig) Validate() error {
+	cc := c.withDefaults()
+	if len(cc.SDP) == 0 {
+		return fmt.Errorf("link: no SDPs")
+	}
+	if len(cc.SDP) != len(cc.Load.Fractions) {
+		return fmt.Errorf("link: %d SDPs but %d class fractions", len(cc.SDP), len(cc.Load.Fractions))
+	}
+	if !(cc.Horizon > 0) {
+		return fmt.Errorf("link: horizon %g must be > 0", cc.Horizon)
+	}
+	if cc.Warmup < 0 || cc.Warmup >= cc.Horizon {
+		return fmt.Errorf("link: warmup %g outside [0, horizon)", cc.Warmup)
+	}
+	return cc.Load.Validate()
+}
+
+// Result summarizes a single-link run.
+type Result struct {
+	// Delays holds post-warm-up per-class queueing delays.
+	Delays *stats.ClassDelays
+	// Utilization is the realized link utilization over the run.
+	Utilization float64
+	// Generated and Departed count packets over the whole run
+	// (including warm-up); Dropped counts buffer losses.
+	Generated uint64
+	Departed  uint64
+	Dropped   uint64
+	// SchedulerName echoes the discipline that ran.
+	SchedulerName string
+}
+
+// MeanDelayPUnits returns class i's mean delay in p-units.
+func (r *Result) MeanDelayPUnits(i int) float64 { return r.Delays.Mean(i) / PUnit }
+
+// Run executes one single-link simulation and returns its statistics.
+func Run(cfg RunConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	sched, err := core.New(c.Kind, c.SDP, c.LinkRate)
+	if err != nil {
+		return nil, err
+	}
+	return runWith(sched, c)
+}
+
+// RunWithScheduler executes one single-link simulation with a pre-built
+// scheduler — for disciplines needing non-default construction (e.g. HPD
+// with a specific mixing factor). cfg.Kind is ignored.
+func RunWithScheduler(sched core.Scheduler, cfg RunConfig) (*Result, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("link: nil scheduler")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched.NumClasses() != len(cfg.SDP) {
+		return nil, fmt.Errorf("link: scheduler has %d classes, config %d", sched.NumClasses(), len(cfg.SDP))
+	}
+	return runWith(sched, cfg.withDefaults())
+}
+
+func runWith(sched core.Scheduler, cfg RunConfig) (*Result, error) {
+	engine := sim.NewEngine()
+	if cfg.CalendarQueue {
+		engine = sim.NewEngineCalendar()
+	}
+	l := New(engine, cfg.LinkRate, sched)
+	l.MaxPackets = cfg.MaxPackets
+	l.Dropper = cfg.Dropper
+
+	delays := stats.NewClassDelays(len(cfg.SDP))
+	l.OnDepart = func(p *core.Packet) {
+		if p.Departure >= cfg.Warmup {
+			delays.Observe(p)
+		}
+		for _, ob := range cfg.Observers {
+			ob(p)
+		}
+	}
+
+	sources, err := cfg.Load.Build(cfg.LinkRate, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var generated uint64
+	traffic.StartAll(engine, sources, func(p *core.Packet) {
+		generated++
+		l.Arrive(p)
+	})
+
+	engine.RunUntil(cfg.Horizon)
+
+	return &Result{
+		Delays:        delays,
+		Utilization:   l.Utilization(),
+		Generated:     generated,
+		Departed:      l.Departed(),
+		Dropped:       l.Dropped(),
+		SchedulerName: sched.Name(),
+	}, nil
+}

@@ -1,0 +1,117 @@
+// Package mg1 provides closed-form M/G/1 queueing results used to
+// validate the simulator against theory under Poisson arrivals: the
+// Pollaczek–Khinchine mean wait for FCFS, Cobham's formula for
+// nonpreemptive static priorities (the strict scheduler), and the
+// conservation law they must jointly satisfy. The paper's evaluation uses
+// Pareto arrivals, where no closed forms exist; these results anchor the
+// machinery itself.
+package mg1
+
+import "fmt"
+
+// ServiceMoments are the first two moments of the service-time
+// distribution.
+type ServiceMoments struct {
+	// Mean is E[S] in time units; SecondMoment is E[S²].
+	Mean, SecondMoment float64
+}
+
+// MomentsFromSizes computes service moments for a discrete packet-size
+// distribution served at rate bytes-per-time-unit.
+func MomentsFromSizes(sizes []int64, probs []float64, rate float64) (ServiceMoments, error) {
+	if len(sizes) == 0 || len(sizes) != len(probs) {
+		return ServiceMoments{}, fmt.Errorf("mg1: need matching nonempty sizes/probs")
+	}
+	if !(rate > 0) {
+		return ServiceMoments{}, fmt.Errorf("mg1: rate must be > 0")
+	}
+	var m ServiceMoments
+	var sum float64
+	for i := range sizes {
+		if sizes[i] <= 0 || probs[i] < 0 {
+			return ServiceMoments{}, fmt.Errorf("mg1: invalid size/prob at %d", i)
+		}
+		s := float64(sizes[i]) / rate
+		m.Mean += probs[i] * s
+		m.SecondMoment += probs[i] * s * s
+		sum += probs[i]
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return ServiceMoments{}, fmt.Errorf("mg1: probabilities sum to %g", sum)
+	}
+	return m, nil
+}
+
+// FCFSWait returns the Pollaczek–Khinchine mean waiting time
+// W = λ·E[S²]/(2(1−ρ)) for aggregate Poisson arrival rate lambda.
+func FCFSWait(lambda float64, m ServiceMoments) (float64, error) {
+	rho := lambda * m.Mean
+	if !(lambda > 0) || rho >= 1 {
+		return 0, fmt.Errorf("mg1: need lambda > 0 and rho = %g < 1", rho)
+	}
+	return lambda * m.SecondMoment / (2 * (1 - rho)), nil
+}
+
+// PriorityWaits returns Cobham's mean waiting times for a nonpreemptive
+// static-priority M/G/1 queue. lambda[i] is the Poisson arrival rate of
+// class i with class numbering matching this repository's convention:
+// *higher index = higher priority* (served first). All classes share the
+// same service distribution m. The result is indexed like lambda.
+//
+//	W_k = W0 / ((1 − σ_{k−1}) (1 − σ_k))
+//
+// with W0 = λ·E[S²]/2 the mean residual service and σ_k the utilization of
+// the k highest-priority classes.
+func PriorityWaits(lambda []float64, m ServiceMoments) ([]float64, error) {
+	n := len(lambda)
+	if n == 0 {
+		return nil, fmt.Errorf("mg1: no classes")
+	}
+	var aggLambda float64
+	for i, l := range lambda {
+		if l < 0 {
+			return nil, fmt.Errorf("mg1: negative rate for class %d", i)
+		}
+		aggLambda += l
+	}
+	if aggLambda*m.Mean >= 1 {
+		return nil, fmt.Errorf("mg1: total utilization %g >= 1", aggLambda*m.Mean)
+	}
+	w0 := aggLambda * m.SecondMoment / 2
+	waits := make([]float64, n)
+	// Walk priority ranks from highest (index n-1) downward,
+	// accumulating σ.
+	sigmaPrev := 0.0
+	for i := n - 1; i >= 0; i-- {
+		sigma := sigmaPrev + lambda[i]*m.Mean
+		waits[i] = w0 / ((1 - sigmaPrev) * (1 - sigma))
+		sigmaPrev = sigma
+	}
+	return waits, nil
+}
+
+// ConservationCheck returns the relative gap between Σ ρ_k·W_k for the
+// given per-class waits and the FCFS value ρ·W_FCFS — zero for any
+// work-conserving discipline per the M/G/1 conservation law.
+func ConservationCheck(lambda []float64, waits []float64, m ServiceMoments) (float64, error) {
+	if len(lambda) != len(waits) {
+		return 0, fmt.Errorf("mg1: length mismatch")
+	}
+	var agg float64
+	for _, l := range lambda {
+		agg += l
+	}
+	fcfs, err := FCFSWait(agg, m)
+	if err != nil {
+		return 0, err
+	}
+	target := agg * m.Mean * fcfs
+	var got float64
+	for i := range lambda {
+		got += lambda[i] * m.Mean * waits[i]
+	}
+	if target == 0 {
+		return 0, fmt.Errorf("mg1: degenerate target")
+	}
+	return (got - target) / target, nil
+}

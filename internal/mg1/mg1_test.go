@@ -1,0 +1,154 @@
+package mg1
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func paperMoments(t *testing.T) ServiceMoments {
+	t.Helper()
+	m, err := MomentsFromSizes([]int64{40, 550, 1500}, []float64{0.4, 0.5, 0.1}, 441.0/11.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMomentsFromSizes(t *testing.T) {
+	m := paperMoments(t)
+	// Mean service time is one p-unit = 11.2 by construction.
+	if math.Abs(m.Mean-11.2) > 1e-9 {
+		t.Fatalf("Mean = %g, want 11.2", m.Mean)
+	}
+	if m.SecondMoment <= m.Mean*m.Mean {
+		t.Fatal("E[S^2] must exceed E[S]^2 for a non-degenerate distribution")
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := MomentsFromSizes(nil, nil, 1); return err },
+		func() error { _, err := MomentsFromSizes([]int64{1}, []float64{1}, 0); return err },
+		func() error { _, err := MomentsFromSizes([]int64{0}, []float64{1}, 1); return err },
+		func() error { _, err := MomentsFromSizes([]int64{1, 2}, []float64{0.5, 0.1}, 1); return err },
+	} {
+		if bad() == nil {
+			t.Error("invalid input accepted")
+		}
+	}
+}
+
+func TestFCFSWaitKnownValue(t *testing.T) {
+	// M/M/1 sanity: exponential service has E[S²] = 2/μ², so
+	// W = ρ/(μ−λ). Approximate exponential with a fine discrete grid.
+	const mu = 1.0
+	const lambda = 0.8
+	// Discretized exponential on a dense grid.
+	var sizes []int64
+	var probs []float64
+	var norm float64
+	for i := 1; i <= 4000; i++ {
+		x := float64(i) * 0.005
+		p := math.Exp(-mu*(x-0.0025)) - math.Exp(-mu*(x+0.0025))
+		sizes = append(sizes, int64(i))
+		probs = append(probs, p)
+		norm += p
+	}
+	for i := range probs {
+		probs[i] /= norm
+	}
+	m, err := MomentsFromSizes(sizes, probs, 200) // size i -> i*0.005 time units
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FCFSWait(lambda, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lambda / (mu * (mu - lambda)) // = 4.0
+	if math.Abs(w-want)/want > 0.02 {
+		t.Fatalf("M/M/1 wait = %g, want %g", w, want)
+	}
+}
+
+func TestFCFSWaitErrors(t *testing.T) {
+	m := ServiceMoments{Mean: 1, SecondMoment: 2}
+	if _, err := FCFSWait(0, m); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+	if _, err := FCFSWait(1.5, m); err == nil {
+		t.Error("rho >= 1 accepted")
+	}
+}
+
+func TestPriorityWaitsOrderingAndConservation(t *testing.T) {
+	m := paperMoments(t)
+	// Paper split at rho = 0.9: class rates in packets per time unit.
+	lambda := []float64{0.4, 0.3, 0.2, 0.1}
+	for i := range lambda {
+		lambda[i] *= 0.9 / 11.2
+	}
+	waits, err := PriorityWaits(lambda, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher class (higher index) waits less; strictly ordered.
+	for i := 0; i+1 < len(waits); i++ {
+		if !(waits[i] > waits[i+1]) {
+			t.Fatalf("waits not ordered: %v", waits)
+		}
+	}
+	gap, err := ConservationCheck(lambda, waits, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gap) > 1e-12 {
+		t.Fatalf("Cobham waits violate conservation by %g", gap)
+	}
+}
+
+func TestPriorityWaitsErrors(t *testing.T) {
+	m := ServiceMoments{Mean: 1, SecondMoment: 2}
+	if _, err := PriorityWaits(nil, m); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if _, err := PriorityWaits([]float64{-1, 0.1}, m); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := PriorityWaits([]float64{0.6, 0.6}, m); err == nil {
+		t.Error("overload accepted")
+	}
+}
+
+func TestConservationCheckErrors(t *testing.T) {
+	m := ServiceMoments{Mean: 1, SecondMoment: 2}
+	if _, err := ConservationCheck([]float64{0.1}, []float64{1, 2}, m); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: Cobham's waits satisfy the conservation law for random
+// feasible configurations.
+func TestCobhamConservationProperty(t *testing.T) {
+	m := ServiceMoments{Mean: 2, SecondMoment: 10}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		n := 2 + rng.IntN(5)
+		lambda := make([]float64, n)
+		budget := 0.95 / m.Mean
+		for i := range lambda {
+			lambda[i] = rng.Float64() * budget / float64(n)
+		}
+		waits, err := PriorityWaits(lambda, m)
+		if err != nil {
+			return false
+		}
+		gap, err := ConservationCheck(lambda, waits, m)
+		if err != nil {
+			return false
+		}
+		return math.Abs(gap) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

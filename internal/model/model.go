@@ -1,0 +1,249 @@
+// Package model implements the mathematics of the proportional delay
+// differentiation model (§2 and §3 of the paper): the Eq. (6) class-delay
+// predictions implied by the conservation law, the four dynamics
+// properties, and the Coffman–Mitrani feasibility conditions (Eq. 7)
+// evaluated with FCFS sub-simulations on a recorded traffic trace.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/sim"
+	"pdds/internal/traffic"
+)
+
+// ValidateDDPs panics unless the delay differentiation parameters are
+// strictly positive and nonincreasing (δ1 > δ2 > ... per §2: higher classes
+// get proportionally lower delay).
+func ValidateDDPs(ddp []float64) {
+	core.ValidateClasses(len(ddp))
+	for i, d := range ddp {
+		if !(d > 0) {
+			panic(fmt.Sprintf("model: DDP[%d]=%g must be > 0", i, d))
+		}
+		if i > 0 && d > ddp[i-1] {
+			panic(fmt.Sprintf("model: DDPs must be nonincreasing, got %v", ddp))
+		}
+	}
+}
+
+// DDPsFromSDPs converts scheduler differentiation parameters to the delay
+// differentiation parameters they induce in heavy load (Eq. 10/13): the
+// DDP ratios are the inverse SDP ratios, so δ_i = 1/s_i up to a common
+// scale.
+func DDPsFromSDPs(sdp []float64) []float64 {
+	core.ValidateSDPs(sdp)
+	ddp := make([]float64, len(sdp))
+	for i, s := range sdp {
+		ddp[i] = 1 / s
+	}
+	return ddp
+}
+
+// PredictDelays evaluates Eq. (6): given DDPs δ, class arrival rates λ and
+// the aggregate FCFS average delay d̄(λ), the unique per-class average
+// delays that satisfy both the proportional constraints (Eq. 4) and the
+// conservation law (Eq. 5) are
+//
+//	d_i = δ_i · λ · d̄(λ) / Σ_j δ_j·λ_j .
+func PredictDelays(ddp, lambda []float64, dbarAgg float64) []float64 {
+	ValidateDDPs(ddp)
+	if len(lambda) != len(ddp) {
+		panic("model: DDP/lambda length mismatch")
+	}
+	var aggRate, denom float64
+	for j := range ddp {
+		if lambda[j] < 0 {
+			panic("model: negative arrival rate")
+		}
+		aggRate += lambda[j]
+		denom += ddp[j] * lambda[j]
+	}
+	out := make([]float64, len(ddp))
+	if denom == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = ddp[i] * aggRate * dbarAgg / denom
+	}
+	return out
+}
+
+// FCFSMeanDelay replays a trace through a FCFS server of the given rate
+// and returns the mean queueing (waiting) delay over all packets — the
+// d̄(λ) terms of Eq. (5) and (7). The replay drains completely so every
+// arrival is measured.
+func FCFSMeanDelay(tr *traffic.Trace, rate float64) float64 {
+	if len(tr.Arrivals) == 0 {
+		return 0
+	}
+	engine := sim.NewEngine()
+	l := link.New(engine, rate, core.NewFCFS(tr.Classes))
+	var sum float64
+	var n uint64
+	l.OnDepart = func(p *core.Packet) {
+		sum += p.Wait()
+		n++
+	}
+	tr.Replay(engine, l.Arrive)
+	engine.RunAll()
+	return sum / float64(n)
+}
+
+// SubsetCondition is one of the 2^N − 2 feasibility inequalities of
+// Eq. (7) evaluated on measured traffic.
+type SubsetCondition struct {
+	// Subset is the class membership mask (bit i = class i ∈ φ).
+	Subset uint
+	// LHS is Σ_{i∈φ} λ_i·d_i with the candidate delays d.
+	LHS float64
+	// RHS is (Σ_{i∈φ} λ_i) · d̄(Σ_{i∈φ} λ_i) from the FCFS
+	// sub-simulation.
+	RHS float64
+}
+
+// OK reports whether the inequality LHS >= RHS holds (with a small
+// relative tolerance for simulation noise).
+func (s SubsetCondition) OK() bool {
+	return s.LHS >= s.RHS*(1-1e-9)
+}
+
+// Slack returns (LHS−RHS)/RHS, the relative margin by which the condition
+// holds (negative = violated). Returns +Inf when RHS is zero.
+func (s SubsetCondition) Slack() float64 {
+	if s.RHS == 0 {
+		return math.Inf(1)
+	}
+	return (s.LHS - s.RHS) / s.RHS
+}
+
+// FeasibilityReport is the outcome of checking a candidate delay vector
+// against Eq. (7) for a specific trace.
+type FeasibilityReport struct {
+	// Delays is the candidate per-class average delay vector (from
+	// Eq. 6 when produced by CheckDDPs).
+	Delays []float64
+	// Lambda is the measured per-class arrival rate.
+	Lambda []float64
+	// AggregateDelay is the measured aggregate FCFS delay d̄(λ).
+	AggregateDelay float64
+	// ConservationRelGap is |Σλ_i·d_i − λ·d̄(λ)| / (λ·d̄(λ)): the
+	// relative violation of the full-set conservation *equality*, which
+	// the Coffman–Mitrani characterization requires in addition to the
+	// subset inequalities. Delay vectors produced from Eq. (6) satisfy
+	// it by construction.
+	ConservationRelGap float64
+	// Conditions holds every proper nonempty subset's inequality.
+	Conditions []SubsetCondition
+}
+
+// conservationTol is the relative tolerance on the full-set equality;
+// loose enough for floating-point accumulation over millions of packets,
+// tight enough to reject any materially non-work-conserving vector.
+const conservationTol = 1e-6
+
+// Feasible reports whether the conservation equality and all subset
+// conditions hold.
+func (r *FeasibilityReport) Feasible() bool {
+	if r.ConservationRelGap > conservationTol {
+		return false
+	}
+	for _, c := range r.Conditions {
+		if !c.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstSlack returns the minimum relative slack across conditions.
+func (r *FeasibilityReport) WorstSlack() float64 {
+	worst := math.Inf(1)
+	for _, c := range r.Conditions {
+		if s := c.Slack(); s < worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// CheckDelays evaluates Eq. (7) for an arbitrary candidate delay vector d
+// on the trace: for every nonempty proper subset φ of classes,
+//
+//	Σ_{i∈φ} λ_i·d_i  >=  (Σ_{i∈φ} λ_i) · d̄(Σ_{i∈φ} λ_i)
+//
+// where each d̄ term is measured by replaying the subset's arrivals
+// through a FCFS server of the given rate. The full-set equality (the
+// conservation law itself) is reported in AggregateDelay but not added as
+// a condition.
+func CheckDelays(tr *traffic.Trace, rate float64, delays []float64) (*FeasibilityReport, error) {
+	n := tr.Classes
+	if len(delays) != n {
+		return nil, fmt.Errorf("model: %d delays for %d classes", len(delays), n)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("model: feasibility needs at least 2 classes")
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("model: %d classes would need 2^%d FCFS sub-simulations", n, n)
+	}
+	lambda := tr.Rates()
+	rep := &FeasibilityReport{
+		Delays:         append([]float64(nil), delays...),
+		Lambda:         lambda,
+		AggregateDelay: FCFSMeanDelay(tr, rate),
+	}
+	var sumLD, aggRate float64
+	for i := 0; i < n; i++ {
+		sumLD += lambda[i] * delays[i]
+		aggRate += lambda[i]
+	}
+	if target := aggRate * rep.AggregateDelay; target > 0 {
+		rep.ConservationRelGap = math.Abs(sumLD-target) / target
+	} else if sumLD != 0 {
+		rep.ConservationRelGap = math.Inf(1)
+	}
+	keep := make([]bool, n)
+	for mask := uint(1); mask < (uint(1)<<n)-1; mask++ {
+		var lhs, rateSum float64
+		for i := 0; i < n; i++ {
+			keep[i] = mask&(1<<i) != 0
+			if keep[i] {
+				lhs += lambda[i] * delays[i]
+				rateSum += lambda[i]
+			}
+		}
+		sub := tr.Filter(keep)
+		dbar := FCFSMeanDelay(sub, rate)
+		rep.Conditions = append(rep.Conditions, SubsetCondition{
+			Subset: mask,
+			LHS:    lhs,
+			RHS:    rateSum * dbar,
+		})
+	}
+	return rep, nil
+}
+
+// CheckDDPs derives the Eq. (6) delay vector for the DDPs on this trace
+// (using the measured aggregate FCFS delay) and checks its feasibility.
+// This is the §3 procedure used to verify that the Figure 1/2 operating
+// points are feasible, so scheduler deviations are attributable to the
+// schedulers rather than the chosen DDPs.
+func CheckDDPs(tr *traffic.Trace, rate float64, ddp []float64) (*FeasibilityReport, error) {
+	ValidateDDPs(ddp)
+	if len(ddp) != tr.Classes {
+		return nil, fmt.Errorf("model: %d DDPs for %d classes", len(ddp), tr.Classes)
+	}
+	lambda := tr.Rates()
+	dbar := FCFSMeanDelay(tr, rate)
+	delays := PredictDelays(ddp, lambda, dbar)
+	rep, err := CheckDelays(tr, rate, delays)
+	if err != nil {
+		return nil, err
+	}
+	rep.AggregateDelay = dbar
+	return rep, nil
+}

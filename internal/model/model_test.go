@@ -1,0 +1,382 @@
+package model
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/sim"
+	"pdds/internal/traffic"
+)
+
+func TestValidateDDPs(t *testing.T) {
+	ValidateDDPs([]float64{1, 0.5, 0.25})
+	for _, bad := range [][]float64{nil, {0}, {-1}, {0.5, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ValidateDDPs(%v) did not panic", bad)
+				}
+			}()
+			ValidateDDPs(bad)
+		}()
+	}
+}
+
+func TestDDPsFromSDPs(t *testing.T) {
+	ddp := DDPsFromSDPs([]float64{1, 2, 4, 8})
+	want := []float64{1, 0.5, 0.25, 0.125}
+	for i := range want {
+		if math.Abs(ddp[i]-want[i]) > 1e-12 {
+			t.Fatalf("ddp = %v, want %v", ddp, want)
+		}
+	}
+}
+
+func TestPredictDelaysSatisfiesModel(t *testing.T) {
+	ddp := []float64{1, 0.5, 0.25, 0.125}
+	lambda := []float64{0.04, 0.03, 0.02, 0.01}
+	const dbar = 100.0
+	d := PredictDelays(ddp, lambda, dbar)
+	// Proportional constraints (Eq. 4): d_i/d_j = δ_i/δ_j.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(d[i]/d[j]-ddp[i]/ddp[j]) > 1e-9 {
+				t.Fatalf("ratio d%d/d%d = %g, want %g", i, j, d[i]/d[j], ddp[i]/ddp[j])
+			}
+		}
+	}
+	// Conservation law (Eq. 5): Σ λ_i d_i = λ·d̄(λ).
+	var sum, agg float64
+	for i := range lambda {
+		sum += lambda[i] * d[i]
+		agg += lambda[i]
+	}
+	if math.Abs(sum-agg*dbar) > 1e-9 {
+		t.Fatalf("Σλd = %g, want %g", sum, agg*dbar)
+	}
+}
+
+func TestPredictDelaysEdgeCases(t *testing.T) {
+	if d := PredictDelays([]float64{1, 0.5}, []float64{0, 0}, 10); d[0] != 0 || d[1] != 0 {
+		t.Fatal("zero-rate prediction not zero")
+	}
+	for _, fn := range []func(){
+		func() { PredictDelays([]float64{1, 0.5}, []float64{1}, 10) },
+		func() { PredictDelays([]float64{1, 0.5}, []float64{1, -1}, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// dbarMM1 is a toy increasing delay-vs-rate curve used to exercise the
+// dynamics properties: the M/M/1-like shape λ/(μ(μ−λ)) scaled to waiting
+// time.
+func dbarMM1(lambda float64) float64 {
+	const mu = 1.0
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return lambda / (mu * (mu - lambda))
+}
+
+func predict(ddp, lambda []float64) []float64 {
+	var agg float64
+	for _, l := range lambda {
+		agg += l
+	}
+	return PredictDelays(ddp, lambda, dbarMM1(agg))
+}
+
+// The four dynamics properties of §3 follow from Eq. (6); check them
+// numerically over random feasible operating points.
+func TestDynamicsProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		ddp := []float64{1, 0.5, 0.25, 0.125}
+		lambda := make([]float64, 4)
+		var agg float64
+		for i := range lambda {
+			lambda[i] = 0.05 + rng.Float64()*0.15
+			agg += lambda[i]
+		}
+		// Normalize to heavy load (ρ=0.9). The paper presents the
+		// properties as heavy-load dynamics; property 1 in particular
+		// needs d̄(λ) to grow fast enough, which it does near
+		// saturation.
+		for i := range lambda {
+			lambda[i] *= 0.9 / agg
+		}
+		base := predict(ddp, lambda)
+		const eps = 1e-3
+
+		// Property 1: d_i increases with the arrival rate of any
+		// class j.
+		for j := 0; j < 4; j++ {
+			bumped := append([]float64(nil), lambda...)
+			bumped[j] += eps
+			d := predict(ddp, bumped)
+			for i := 0; i < 4; i++ {
+				if d[i] < base[i]-1e-12 {
+					return false
+				}
+			}
+		}
+
+		// Property 2: increasing a *higher* class's load increases
+		// d_i more than increasing a lower class's load by the same
+		// amount. (Higher class = higher index = smaller δ.)
+		lowBump := append([]float64(nil), lambda...)
+		lowBump[0] += eps
+		highBump := append([]float64(nil), lambda...)
+		highBump[3] += eps
+		dLow := predict(ddp, lowBump)
+		dHigh := predict(ddp, highBump)
+		for i := 0; i < 4; i++ {
+			if dHigh[i] < dLow[i]-1e-12 {
+				return false
+			}
+		}
+
+		// Property 3: increasing δ_k increases d_k and decreases
+		// every other class's delay.
+		for k := 1; k < 3; k++ { // keep ordering valid
+			ddp2 := append([]float64(nil), ddp...)
+			ddp2[k] *= 1.01
+			if ddp2[k] > ddp2[k-1] {
+				continue
+			}
+			d := predict(ddp2, lambda)
+			if d[k] < base[k]-1e-12 {
+				return false
+			}
+			for i := 0; i < 4; i++ {
+				if i != k && d[i] > base[i]+1e-12 {
+					return false
+				}
+			}
+		}
+
+		// Property 4: shifting load from class i to a higher class j
+		// (aggregate unchanged) increases every class's delay;
+		// shifting to a lower class decreases it.
+		shiftUp := append([]float64(nil), lambda...)
+		shiftUp[0] -= eps
+		shiftUp[3] += eps
+		dUp := predict(ddp, shiftUp)
+		for i := 0; i < 4; i++ {
+			if dUp[i] < base[i]-1e-12 {
+				return false
+			}
+		}
+		shiftDown := append([]float64(nil), lambda...)
+		shiftDown[3] -= eps
+		shiftDown[0] += eps
+		dDown := predict(ddp, shiftDown)
+		for i := 0; i < 4; i++ {
+			if dDown[i] > base[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCFSMeanDelayDeterministic(t *testing.T) {
+	tr := &traffic.Trace{
+		Classes: 2,
+		Horizon: 100,
+		Arrivals: []traffic.Arrival{
+			{Class: 0, Size: 100, Time: 0},
+			{Class: 1, Size: 100, Time: 0},
+			{Class: 0, Size: 100, Time: 0},
+		},
+	}
+	// Rate 100 B/tu → 1 tu per packet; waits 0, 1, 2 → mean 1.
+	got := FCFSMeanDelay(tr, 100)
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("FCFS mean delay = %g, want 1", got)
+	}
+	if FCFSMeanDelay(&traffic.Trace{Classes: 1, Horizon: 1}, 100) != 0 {
+		t.Fatal("empty trace mean delay not 0")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := &traffic.Trace{
+		Classes: 3,
+		Horizon: 10,
+		Arrivals: []traffic.Arrival{
+			{Class: 0, Size: 10, Time: 1},
+			{Class: 2, Size: 10, Time: 2},
+			{Class: 0, Size: 10, Time: 3},
+		},
+	}
+	rates := tr.Rates()
+	if rates[0] != 0.2 || rates[1] != 0 || rates[2] != 0.1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	sub := tr.Filter([]bool{true, false, false})
+	if len(sub.Arrivals) != 2 || sub.Arrivals[1].Time != 3 {
+		t.Fatalf("filter wrong: %+v", sub.Arrivals)
+	}
+}
+
+func TestCheckDelaysFeasibleAndInfeasible(t *testing.T) {
+	load := traffic.PaperLoad(0.90)
+	tr, err := traffic.Record(load, link.PaperLinkRate, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The per-class delays actually achieved by FCFS are feasible by
+	// construction (FCFS is a work-conserving scheduler achieving them).
+	// Measure them per class.
+	perClass := make([]float64, 4)
+	{
+		counts := make([]float64, 4)
+		sums := make([]float64, 4)
+		engine := sim.NewEngine()
+		l := link.New(engine, link.PaperLinkRate, core.NewFCFS(4))
+		l.OnDepart = func(p *core.Packet) {
+			sums[p.Class] += p.Wait()
+			counts[p.Class]++
+		}
+		tr.Replay(engine, l.Arrive)
+		engine.RunAll()
+		for c := 0; c < 4; c++ {
+			perClass[c] = sums[c] / counts[c]
+		}
+	}
+	rep, err := CheckDelays(tr, link.PaperLinkRate, perClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Conditions) != 14 {
+		t.Fatalf("conditions = %d, want 2^4-2 = 14", len(rep.Conditions))
+	}
+	if !rep.Feasible() {
+		t.Fatalf("FCFS-achieved delays reported infeasible (worst slack %g)", rep.WorstSlack())
+	}
+
+	// A vector violating the conservation equality (all delays halved)
+	// is infeasible even though every subset inequality may still hold.
+	halved := make([]float64, 4)
+	for i, d := range perClass {
+		halved[i] = d / 2
+	}
+	repC, err := CheckDelays(tr, link.PaperLinkRate, halved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.Feasible() {
+		t.Fatal("non-conserving delay vector reported feasible")
+	}
+	if repC.ConservationRelGap < 0.4 {
+		t.Fatalf("ConservationRelGap = %g, want ~0.5", repC.ConservationRelGap)
+	}
+
+	// A conserving vector that pushes class 0 below its solo-FCFS delay
+	// (dumping the excess on class 1) violates the {0} subset condition:
+	// no work-conserving scheduler can serve class 0 faster than a FCFS
+	// server with all other traffic removed.
+	lambda := rep.Lambda
+	var soloD0 float64
+	for _, c := range rep.Conditions {
+		if c.Subset == 1 {
+			soloD0 = c.RHS / lambda[0]
+		}
+	}
+	if soloD0 <= 0 {
+		t.Fatal("class 0 solo FCFS delay not positive; trace too short")
+	}
+	bad := append([]float64(nil), perClass...)
+	bad[0] = soloD0 / 2
+	// Re-balance class 1 to preserve Σλd.
+	bad[1] = perClass[1] + lambda[0]*(perClass[0]-bad[0])/lambda[1]
+	rep2, err := CheckDelays(tr, link.PaperLinkRate, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ConservationRelGap > 1e-9 {
+		t.Fatalf("rebalanced vector broke conservation: gap %g", rep2.ConservationRelGap)
+	}
+	if rep2.Feasible() {
+		t.Fatal("subset-violating delay vector reported feasible")
+	}
+	if rep2.WorstSlack() >= 0 {
+		t.Fatal("WorstSlack not negative for infeasible vector")
+	}
+}
+
+func TestCheckDDPsPaperOperatingPoint(t *testing.T) {
+	// §3/§5: the Figure 1/2 operating points use feasible DDPs. Verify
+	// the ρ=0.95, SDP 1/2/4/8 point.
+	load := traffic.PaperLoad(0.95)
+	tr, err := traffic.Record(load, link.PaperLinkRate, 300000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckDDPs(tr, link.PaperLinkRate, DDPsFromSDPs([]float64{1, 2, 4, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("paper operating point infeasible (worst slack %g)", rep.WorstSlack())
+	}
+	if rep.AggregateDelay <= 0 {
+		t.Fatal("aggregate delay not positive")
+	}
+	// Eq. (6) delays must be ordered low class > high class.
+	for i := 0; i+1 < 4; i++ {
+		if !(rep.Delays[i] > rep.Delays[i+1]) {
+			t.Fatalf("predicted delays not ordered: %v", rep.Delays)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	tr := &traffic.Trace{Classes: 4, Horizon: 10}
+	if _, err := CheckDelays(tr, 10, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	one := &traffic.Trace{Classes: 1, Horizon: 10}
+	if _, err := CheckDelays(one, 10, []float64{1}); err == nil {
+		t.Error("single class accepted")
+	}
+	big := &traffic.Trace{Classes: 20, Horizon: 10}
+	if _, err := CheckDelays(big, 10, make([]float64, 20)); err == nil {
+		t.Error("20 classes accepted")
+	}
+	if _, err := CheckDDPs(tr, 10, []float64{1, 0.5}); err == nil {
+		t.Error("DDP length mismatch accepted")
+	}
+}
+
+func TestSubsetConditionHelpers(t *testing.T) {
+	c := SubsetCondition{Subset: 3, LHS: 10, RHS: 8}
+	if !c.OK() || math.Abs(c.Slack()-0.25) > 1e-12 {
+		t.Fatalf("OK/Slack wrong: %+v", c)
+	}
+	v := SubsetCondition{Subset: 1, LHS: 5, RHS: 8}
+	if v.OK() || v.Slack() >= 0 {
+		t.Fatal("violated condition reported OK")
+	}
+	z := SubsetCondition{Subset: 1, LHS: 5, RHS: 0}
+	if !math.IsInf(z.Slack(), 1) {
+		t.Fatal("zero-RHS slack not +Inf")
+	}
+}

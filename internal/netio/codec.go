@@ -1,0 +1,72 @@
+// Package netio puts the proportional-differentiation schedulers in front
+// of a real network socket: a userspace DiffServ-style forwarder receives
+// UDP datagrams, classifies them by a 1-byte class field (the role the DS
+// field's Class Selector code points play in the paper's setting), queues
+// them in a WTP/BPR scheduler, and transmits on a rate-limited egress.
+// It is the live-socket counterpart of the simulated per-hop behaviour.
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Header is the fixed-size datagram header used by the forwarder and its
+// measurement tools. The wire layout is:
+//
+//	byte  0    : version (currently 1)
+//	byte  1    : class (0-based)
+//	bytes 2-9  : sequence number, big endian
+//	bytes 10-17: sender timestamp, nanoseconds since Unix epoch, big endian
+//
+// Payload bytes follow the header verbatim.
+type Header struct {
+	Class uint8
+	Seq   uint64
+	// SentAt is the sender's wall-clock timestamp; receivers subtract
+	// it from their own clock to measure one-way delay (same-host
+	// loopback measurements share the clock, so no synchronization is
+	// needed in the tests and examples).
+	SentAt time.Time
+}
+
+// Version is the current wire version.
+const Version = 1
+
+// HeaderLen is the encoded header size in bytes.
+const HeaderLen = 18
+
+// Errors returned by Decode.
+var (
+	ErrTooShort   = errors.New("netio: datagram shorter than header")
+	ErrBadVersion = errors.New("netio: unsupported header version")
+)
+
+// Encode appends the encoded header to dst and returns the result.
+func (h Header) Encode(dst []byte) []byte {
+	var buf [HeaderLen]byte
+	buf[0] = Version
+	buf[1] = h.Class
+	binary.BigEndian.PutUint64(buf[2:10], h.Seq)
+	binary.BigEndian.PutUint64(buf[10:18], uint64(h.SentAt.UnixNano()))
+	return append(dst, buf[:]...)
+}
+
+// Decode parses a header from the front of a datagram and returns it with
+// the remaining payload.
+func Decode(datagram []byte) (Header, []byte, error) {
+	if len(datagram) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(datagram))
+	}
+	if datagram[0] != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, datagram[0])
+	}
+	h := Header{
+		Class:  datagram[1],
+		Seq:    binary.BigEndian.Uint64(datagram[2:10]),
+		SentAt: time.Unix(0, int64(binary.BigEndian.Uint64(datagram[10:18]))),
+	}
+	return h, datagram[HeaderLen:], nil
+}

@@ -1,0 +1,227 @@
+package netio
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pdds/internal/core"
+)
+
+// Config describes a Forwarder.
+type Config struct {
+	// Listen is the UDP address to receive on (e.g. "127.0.0.1:0").
+	Listen string
+	// Forward is the UDP address transmitted datagrams are sent to.
+	Forward string
+	// Scheduler and SDP configure the queueing discipline
+	// (default WTP with SDPs 1,2,4,8).
+	Scheduler core.Kind
+	SDP       []float64
+	// RateBps is the egress rate in bits per second; it is what makes
+	// queueing (and hence differentiation) happen at all.
+	RateBps float64
+	// MaxPackets bounds the aggregate queue; arriving datagrams beyond
+	// it are dropped (0 = 4096).
+	MaxPackets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scheduler == "" {
+		c.Scheduler = core.KindWTP
+	}
+	if len(c.SDP) == 0 {
+		c.SDP = []float64{1, 2, 4, 8}
+	}
+	if c.MaxPackets == 0 {
+		c.MaxPackets = 4096
+	}
+	return c
+}
+
+// Stats are cumulative forwarder counters.
+type Stats struct {
+	Received  uint64
+	Forwarded uint64
+	Dropped   uint64
+	// BadHeader counts datagrams that failed to decode.
+	BadHeader uint64
+}
+
+// Forwarder is a single-hop class-based forwarding element over UDP.
+type Forwarder struct {
+	cfg   Config
+	in    *net.UDPConn
+	dst   *net.UDPAddr
+	rate  float64 // bytes per second
+	epoch time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sched  core.Scheduler
+	queued int
+	closed bool
+	stats  Stats
+
+	wg sync.WaitGroup
+}
+
+// Listen binds the forwarder's ingress socket and starts its receive and
+// transmit loops. Stop with Close.
+func Listen(cfg Config) (*Forwarder, error) {
+	cfg = cfg.withDefaults()
+	if !(cfg.RateBps > 0) {
+		return nil, fmt.Errorf("netio: RateBps %g must be > 0", cfg.RateBps)
+	}
+	dst, err := net.ResolveUDPAddr("udp", cfg.Forward)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve forward addr: %w", err)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netio: resolve listen addr: %w", err)
+	}
+	in, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: listen: %w", err)
+	}
+	rate := cfg.RateBps / 8
+	sched, err := core.New(cfg.Scheduler, cfg.SDP, rate)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
+	f := &Forwarder{
+		cfg:   cfg,
+		in:    in,
+		dst:   dst,
+		rate:  rate,
+		epoch: time.Now(),
+		sched: sched,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.wg.Add(2)
+	go f.receiveLoop()
+	go f.transmitLoop()
+	return f, nil
+}
+
+// LocalAddr returns the bound ingress address.
+func (f *Forwarder) LocalAddr() net.Addr { return f.in.LocalAddr() }
+
+// Stats returns a snapshot of the counters.
+func (f *Forwarder) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close shuts the forwarder down and waits for its loops to exit.
+// Queued datagrams are discarded.
+func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	err := f.in.Close()
+	f.wg.Wait()
+	return err
+}
+
+// now returns seconds since the forwarder started; it is the time base for
+// waiting-time priorities.
+func (f *Forwarder) now() float64 { return time.Since(f.epoch).Seconds() }
+
+func (f *Forwarder) receiveLoop() {
+	defer f.wg.Done()
+	buf := make([]byte, 64*1024)
+	var seq uint64
+	for {
+		n, _, err := f.in.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (or a fatal error): stop receiving
+			// and wake the transmitter so it can observe closed.
+			f.mu.Lock()
+			f.closed = true
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			return
+		}
+		datagram := make([]byte, n)
+		copy(datagram, buf[:n])
+
+		f.mu.Lock()
+		f.stats.Received++
+		hdr, _, derr := Decode(datagram)
+		if derr != nil || int(hdr.Class) >= f.sched.NumClasses() {
+			f.stats.BadHeader++
+			f.mu.Unlock()
+			continue
+		}
+		if f.queued >= f.cfg.MaxPackets {
+			f.stats.Dropped++
+			f.mu.Unlock()
+			continue
+		}
+		seq++
+		f.sched.Enqueue(&core.Packet{
+			ID:      seq,
+			Class:   int(hdr.Class),
+			Size:    int64(n),
+			Arrival: f.now(),
+			Payload: datagram,
+		}, f.now())
+		f.queued++
+		f.cond.Signal()
+		f.mu.Unlock()
+	}
+}
+
+func (f *Forwarder) transmitLoop() {
+	defer f.wg.Done()
+	out, err := net.DialUDP("udp", nil, f.dst)
+	if err != nil {
+		// Nothing can be forwarded; drain nothing and exit when
+		// closed.
+		f.mu.Lock()
+		f.closed = true
+		f.mu.Unlock()
+		return
+	}
+	defer out.Close()
+	for {
+		f.mu.Lock()
+		for f.queued == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if f.closed {
+			f.mu.Unlock()
+			return
+		}
+		p := f.sched.Dequeue(f.now())
+		if p == nil { // defensive: queued said otherwise
+			f.mu.Unlock()
+			continue
+		}
+		f.queued--
+		f.mu.Unlock()
+
+		if _, err := out.Write(p.Payload); err == nil {
+			f.mu.Lock()
+			f.stats.Forwarded++
+			f.mu.Unlock()
+		}
+		// Pace the egress at the configured rate: the transmission
+		// time of this datagram.
+		time.Sleep(time.Duration(float64(p.Size) / f.rate * float64(time.Second)))
+	}
+}
+
+// ErrClosed is returned by operations on a closed forwarder.
+var ErrClosed = errors.New("netio: forwarder closed")

@@ -1,0 +1,28 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecode exercises the datagram parser with arbitrary input: it must
+// never panic, and every accepted datagram must re-encode to the same
+// bytes (canonical wire form).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add(Header{Class: 2, Seq: 42, SentAt: time.Unix(0, 123456789)}.Encode(nil))
+	f.Add(append(Header{Class: 255, Seq: ^uint64(0), SentAt: time.Unix(0, -1)}.Encode(nil), 0xFF, 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := h.Encode(nil)
+		re = append(re, payload...)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, re)
+		}
+	})
+}

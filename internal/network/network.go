@@ -1,0 +1,404 @@
+// Package network implements Simulation Study B (§6): a K-hop congested
+// path (Figure 6) whose links each run a WTP scheduler, loaded with
+// per-hop Pareto cross-traffic, traversed by per-class user flows whose
+// end-to-end queueing-delay percentiles quantify whether local class-based
+// differentiation yields consistent end-to-end flow-based differentiation.
+package network
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/sim"
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+// Config describes one Study B simulation. Times are in seconds, rates in
+// bits per second unless noted.
+type Config struct {
+	// Hops is the number of congested links K (paper: 4 or 8).
+	Hops int
+	// Rho is the per-link utilization (paper: 0.85 or 0.95).
+	Rho float64
+	// SDP are the WTP parameters at every hop (paper: 1,2,4,8).
+	SDP []float64
+	// Scheduler selects the per-hop discipline (default WTP — the paper
+	// uses WTP "since it performs better than BPR").
+	Scheduler core.Kind
+	// LinkBps is each link's rate (default 25 Mbps).
+	LinkBps float64
+	// CrossSources is the number of cross-traffic sources per hop
+	// (default 8).
+	CrossSources int
+	// PacketBytes is the packet size for both user flows and
+	// cross-traffic (default 500).
+	PacketBytes int64
+	// FlowPackets is F, the user-flow length in packets (paper: 10 or
+	// 100).
+	FlowPackets int
+	// FlowKbps is R_u, the user flow's average rate (paper: 50 or 200).
+	FlowKbps float64
+	// Experiments is M, the number of user experiments, one per second
+	// (paper: 100).
+	Experiments int
+	// WarmupSec warms the network before the first experiment
+	// (paper: 100).
+	WarmupSec float64
+	// Alpha is the Pareto shape of cross-traffic interarrivals
+	// (default 1.9).
+	Alpha float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scheduler == "" {
+		c.Scheduler = core.KindWTP
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 25e6
+	}
+	if c.CrossSources == 0 {
+		c.CrossSources = 8
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 500
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.9
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if cc.Hops < 1 {
+		return fmt.Errorf("network: hops %d must be >= 1", cc.Hops)
+	}
+	if !(cc.Rho > 0 && cc.Rho < 1) {
+		return fmt.Errorf("network: rho %g must be in (0,1)", cc.Rho)
+	}
+	if len(cc.SDP) < 2 {
+		return fmt.Errorf("network: need at least 2 classes")
+	}
+	if cc.FlowPackets < 1 || !(cc.FlowKbps > 0) {
+		return fmt.Errorf("network: bad flow spec F=%d Ru=%g", cc.FlowPackets, cc.FlowKbps)
+	}
+	if cc.Experiments < 1 {
+		return fmt.Errorf("network: experiments %d must be >= 1", cc.Experiments)
+	}
+	if cc.WarmupSec < 0 {
+		return fmt.Errorf("network: negative warmup")
+	}
+	return nil
+}
+
+// ClassMix is the cross-traffic class distribution (paper: 40/30/20/10
+// starting from class 1, i.e. index 0).
+var ClassMix = []float64{0.40, 0.30, 0.20, 0.10}
+
+// FlowStats holds one user flow's end-to-end queueing delays.
+type FlowStats struct {
+	Experiment int
+	Class      int
+	// Delays are per-packet end-to-end queueing delays, in seconds.
+	Delays stats.Sample
+}
+
+// Result summarizes a Study B run.
+type Result struct {
+	// Flows holds every user flow's delay sample, indexed
+	// [experiment][class].
+	Flows [][]*FlowStats
+	// Inconsistent counts (experiment, percentile, class-pair) triples
+	// where a higher class saw a larger delay percentile than a lower
+	// class — the paper's headline metric is that this is zero.
+	Inconsistent int
+	// InconsistentMaterial counts the subset of Inconsistent where the
+	// higher class was more than 5% worse — inversions a user could
+	// actually notice, as opposed to near-tie percentile noise.
+	InconsistentMaterial int
+	// InconsistentExperiments counts experiments with >= 1 inconsistent
+	// percentile comparison.
+	InconsistentExperiments int
+	// RD is the end-to-end delay ratio between successive classes
+	// averaged over class pairs, experiments, and the ten percentiles —
+	// the Table 1 metric.
+	RD float64
+	// MeanE2E is the mean end-to-end queueing delay per class, seconds.
+	MeanE2E []float64
+	// Utilization is the realized utilization averaged over links.
+	Utilization float64
+	// PerHopUtilization is each link's realized utilization, hop order.
+	PerHopUtilization []float64
+	// PerHopMeanDelay[h][c] is the mean per-hop queueing delay of
+	// class c at hop h (seconds), over all traffic including
+	// cross-traffic.
+	PerHopMeanDelay [][]float64
+	// CrossPackets counts cross-traffic packets served over all hops.
+	CrossPackets uint64
+}
+
+// Run executes the Study B simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.SDP)
+
+	engine := sim.NewEngine()
+	linkBytesPerSec := cfg.LinkBps / 8
+
+	// Offered load accounting: the M experiments inject N flows of
+	// F packets each second, every packet crossing every hop.
+	userBytesPerSec := float64(n) * float64(cfg.FlowPackets) * float64(cfg.PacketBytes)
+	crossBytesPerSec := cfg.Rho*linkBytesPerSec - userBytesPerSec
+	if crossBytesPerSec <= 0 {
+		return nil, fmt.Errorf("network: user flows alone exceed rho=%g", cfg.Rho)
+	}
+
+	// Build the chain of links.
+	links := make([]*link.Link, cfg.Hops)
+	var crossServed uint64
+	res := &Result{MeanE2E: make([]float64, n)}
+
+	// Delivered user packets are recorded against their flow.
+	flowIndex := make(map[uint64]*FlowStats)
+	var delivered, expected int
+
+	for h := 0; h < cfg.Hops; h++ {
+		sched, err := core.New(cfg.Scheduler, cfg.SDP, linkBytesPerSec)
+		if err != nil {
+			return nil, err
+		}
+		links[h] = link.New(engine, linkBytesPerSec, sched)
+	}
+	hopDelays := make([]*stats.ClassDelays, cfg.Hops)
+	for h := range hopDelays {
+		hopDelays[h] = stats.NewClassDelays(n)
+	}
+	for h := 0; h < cfg.Hops; h++ {
+		h := h
+		links[h].OnDepart = func(p *core.Packet) {
+			if p.Departure >= cfg.WarmupSec {
+				hopDelays[h].Observe(p)
+			}
+			if p.Flow == 0 {
+				crossServed++ // cross-traffic exits after its hop
+				return
+			}
+			if h+1 < cfg.Hops {
+				links[h+1].Arrive(p)
+				return
+			}
+			fs := flowIndex[p.Flow]
+			if fs != nil {
+				fs.Delays.Add(p.QueueingDelay)
+				delivered++
+			}
+		}
+	}
+
+	// Cross-traffic: C sources per hop, Pareto interarrivals, class
+	// drawn per packet from ClassMix.
+	perSourceBytes := crossBytesPerSec / float64(cfg.CrossSources)
+	meanInter := float64(cfg.PacketBytes) / perSourceBytes
+	for h := 0; h < cfg.Hops; h++ {
+		for s := 0; s < cfg.CrossSources; s++ {
+			src := &crossSource{
+				inter: traffic.NewPareto(cfg.Alpha, meanInter),
+				size:  cfg.PacketBytes,
+				mix:   cumulativeMix(n),
+				rng:   traffic.NewRNG(cfg.Seed, uint64(h*1000+s+1)),
+				sink:  links[h].Arrive,
+				id:    uint64(h*cfg.CrossSources+s+1) << 40,
+			}
+			src.start(engine)
+		}
+	}
+
+	// User experiments: every second starting after warm-up, one flow
+	// per class.
+	flowRateBytes := cfg.FlowKbps * 1000 / 8
+	for m := 0; m < cfg.Experiments; m++ {
+		start := cfg.WarmupSec + float64(m)
+		for c := 0; c < n; c++ {
+			fs := &FlowStats{Experiment: m, Class: c}
+			flowID := uint64(m*n+c) + 1
+			flowIndex[flowID] = fs
+			spec := traffic.FlowSpec{
+				Class:   c,
+				Packets: cfg.FlowPackets,
+				Size:    cfg.PacketBytes,
+				Rate:    flowRateBytes,
+			}
+			if err := traffic.ScheduleFlow(engine, spec, start, flowID, links[0].Arrive); err != nil {
+				return nil, err
+			}
+			expected += cfg.FlowPackets
+		}
+	}
+
+	// Run until every user packet is delivered (plus slack for queue
+	// drain). The last flow starts at warmup+M-1 and lasts
+	// F·gap seconds; delays are far below a second per hop at these
+	// loads, but allow a generous margin and extend if needed.
+	flowDuration := float64(cfg.FlowPackets) * float64(cfg.PacketBytes) / flowRateBytes
+	horizon := cfg.WarmupSec + float64(cfg.Experiments) + flowDuration + 5
+	for extend := 0; extend < 20 && delivered < expected; extend++ {
+		engine.RunUntil(horizon)
+		horizon += 10
+	}
+	if delivered < expected {
+		return nil, fmt.Errorf("network: only %d of %d user packets delivered; path saturated", delivered, expected)
+	}
+
+	// Assemble per-experiment flow table.
+	res.Flows = make([][]*FlowStats, cfg.Experiments)
+	for m := 0; m < cfg.Experiments; m++ {
+		res.Flows[m] = make([]*FlowStats, n)
+		for c := 0; c < n; c++ {
+			res.Flows[m][c] = flowIndex[uint64(m*n+c)+1]
+		}
+	}
+	res.CrossPackets = crossServed
+	var util float64
+	for _, l := range links {
+		res.PerHopUtilization = append(res.PerHopUtilization, l.Utilization())
+		util += l.Utilization()
+	}
+	res.Utilization = util / float64(cfg.Hops)
+	res.PerHopMeanDelay = make([][]float64, cfg.Hops)
+	for h := range hopDelays {
+		res.PerHopMeanDelay[h] = make([]float64, n)
+		for c := 0; c < n; c++ {
+			res.PerHopMeanDelay[h][c] = hopDelays[h].Mean(c)
+		}
+	}
+
+	res.computeMetrics(n)
+	return res, nil
+}
+
+// computeMetrics fills Inconsistent, RD and MeanE2E from Flows.
+func (r *Result) computeMetrics(n int) {
+	var rdSum float64
+	var rdCount int
+	meanSum := make([]float64, n)
+	meanCnt := make([]float64, n)
+	for _, exp := range r.Flows {
+		// Per-class percentile vectors for this experiment.
+		pct := make([][]float64, n)
+		for c := 0; c < n; c++ {
+			pct[c] = exp[c].Delays.Quantiles(stats.StudyBPercentiles...)
+			meanSum[c] += exp[c].Delays.Mean()
+			meanCnt[c]++
+		}
+		bad := false
+		for k := range stats.StudyBPercentiles {
+			// Consistency: every higher class at most the lower
+			// class, for every pair (the paper checks "any of
+			// these percentiles" across class pairs).
+			for lo := 0; lo < n; lo++ {
+				for hi := lo + 1; hi < n; hi++ {
+					if pct[hi][k] > pct[lo][k]*(1+1e-12) {
+						r.Inconsistent++
+						bad = true
+						if pct[hi][k] > pct[lo][k]*1.05 {
+							r.InconsistentMaterial++
+						}
+					}
+				}
+			}
+			// R_D over successive pairs.
+			for c := 0; c+1 < n; c++ {
+				if pct[c+1][k] > 0 {
+					rdSum += pct[c][k] / pct[c+1][k]
+					rdCount++
+				}
+			}
+		}
+		if bad {
+			r.InconsistentExperiments++
+		}
+	}
+	if rdCount > 0 {
+		r.RD = rdSum / float64(rdCount)
+	}
+	for c := 0; c < n; c++ {
+		if meanCnt[c] > 0 {
+			r.MeanE2E[c] = meanSum[c] / meanCnt[c]
+		}
+	}
+}
+
+// crossSource emits fixed-size packets with Pareto interarrivals and a
+// random class per packet.
+type crossSource struct {
+	inter traffic.Pareto
+	size  int64
+	mix   []float64 // cumulative class probabilities
+	rng   *rand.Rand
+	sink  traffic.Sink
+	id    uint64
+	seq   uint64
+}
+
+func (s *crossSource) start(engine *sim.Engine) {
+	engine.After(s.inter.Next(s.rng), func() { s.emit(engine) })
+}
+
+func (s *crossSource) emit(engine *sim.Engine) {
+	now := engine.Now()
+	s.seq++
+	u := s.rng.Float64()
+	class := len(s.mix) - 1
+	for i, c := range s.mix {
+		if u < c {
+			class = i
+			break
+		}
+	}
+	s.sink(&core.Packet{
+		ID:      s.id + s.seq,
+		Class:   class,
+		Size:    s.size,
+		Arrival: now,
+		Birth:   now,
+	})
+	s.start(engine)
+}
+
+// cumulativeMix adapts the 4-class paper mix to n classes: for n == 4 it
+// is exactly ClassMix; otherwise probability mass is spread geometrically
+// (halving per class, matching the paper's shape) and normalized.
+func cumulativeMix(n int) []float64 {
+	probs := make([]float64, n)
+	if n == len(ClassMix) {
+		copy(probs, ClassMix)
+	} else {
+		w := 1.0
+		var sum float64
+		for i := 0; i < n; i++ {
+			probs[i] = w
+			sum += w
+			w /= 2
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+	}
+	cum := make([]float64, n)
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	cum[n-1] = 1
+	return cum
+}

@@ -1,0 +1,126 @@
+// Package provision answers the operator-side question §7 leaves open:
+// "how to choose the class differentiation parameters", given a profile of
+// the user population's quality requirements. With proportional
+// differentiation the only degrees of freedom are the DDP ratios; the
+// absolute class delays then follow from the load via Eq. (6). Setting the
+// DDPs proportional to the population's per-class delay requirements makes
+// every class miss or meet its requirement by the same factor, so a single
+// scale number (Eq. 6 delay over requirement) tells the operator whether
+// the plan works, and the Eq. (7) conditions tell whether any
+// work-conserving scheduler could realize it.
+package provision
+
+import (
+	"fmt"
+
+	"pdds/internal/model"
+	"pdds/internal/traffic"
+)
+
+// Plan is a provisioning verdict for one operating point.
+type Plan struct {
+	// Targets echoes the per-class delay requirements (time units,
+	// decreasing with class).
+	Targets []float64
+	// DDP is the derived delay differentiation parameter vector
+	// (normalized so DDP[0] = 1).
+	DDP []float64
+	// SDP is the matching scheduler parameter vector for WTP/BPR
+	// (inverse DDPs, normalized so SDP[0] = 1).
+	SDP []float64
+	// Predicted are the Eq. (6) class delays at this operating point.
+	Predicted []float64
+	// Scale is predicted/target (identical for every class by
+	// construction); <= 1 means all requirements are met.
+	Scale float64
+	// Feasible reports the Eq. (7) verdict for the predicted vector.
+	Feasible bool
+	// Report is the full feasibility report.
+	Report *model.FeasibilityReport
+}
+
+// MeetsTargets reports whether every class requirement is satisfied.
+func (p *Plan) MeetsTargets() bool { return p.Scale <= 1 }
+
+// Workable reports whether the plan both meets targets and is feasible.
+func (p *Plan) Workable() bool { return p.MeetsTargets() && p.Feasible }
+
+// Derive computes the provisioning plan for a recorded traffic trace, a
+// link rate, and per-class delay requirements (strictly positive,
+// nonincreasing: higher classes demand lower delay).
+func Derive(tr *traffic.Trace, rate float64, targets []float64) (*Plan, error) {
+	if len(targets) != tr.Classes {
+		return nil, fmt.Errorf("provision: %d targets for %d classes", len(targets), tr.Classes)
+	}
+	for i, d := range targets {
+		if !(d > 0) {
+			return nil, fmt.Errorf("provision: target[%d]=%g must be > 0", i, d)
+		}
+		if i > 0 && d > targets[i-1] {
+			return nil, fmt.Errorf("provision: targets must be nonincreasing, got %v", targets)
+		}
+	}
+	n := tr.Classes
+
+	// DDPs proportional to the requirements.
+	ddp := make([]float64, n)
+	for i := range ddp {
+		ddp[i] = targets[i] / targets[0]
+	}
+	sdp := make([]float64, n)
+	for i := range sdp {
+		sdp[i] = ddp[0] / ddp[i]
+	}
+
+	lambda := tr.Rates()
+	dbar := model.FCFSMeanDelay(tr, rate)
+	predicted := model.PredictDelays(ddp, lambda, dbar)
+
+	rep, err := model.CheckDelays(tr, rate, predicted)
+	if err != nil {
+		return nil, err
+	}
+	scale := 0.0
+	if targets[0] > 0 {
+		scale = predicted[0] / targets[0]
+	}
+	return &Plan{
+		Targets:   append([]float64(nil), targets...),
+		DDP:       ddp,
+		SDP:       sdp,
+		Predicted: predicted,
+		Scale:     scale,
+		Feasible:  rep.Feasible(),
+		Report:    rep,
+	}, nil
+}
+
+// MaxUtilization sweeps the given utilization grid (ascending) and returns
+// the largest rho whose plan is workable, together with that plan. It
+// returns an error if even the smallest rho fails.
+func MaxUtilization(load traffic.LoadSpec, rate float64, targets []float64, rhos []float64, horizon float64, seed uint64) (float64, *Plan, error) {
+	if len(rhos) == 0 {
+		return 0, nil, fmt.Errorf("provision: empty utilization grid")
+	}
+	var bestRho float64
+	var bestPlan *Plan
+	for _, rho := range rhos {
+		l := load
+		l.Rho = rho
+		tr, err := traffic.Record(l, rate, horizon, seed)
+		if err != nil {
+			return 0, nil, err
+		}
+		plan, err := Derive(tr, rate, targets)
+		if err != nil {
+			return 0, nil, err
+		}
+		if plan.Workable() {
+			bestRho, bestPlan = rho, plan
+		}
+	}
+	if bestPlan == nil {
+		return 0, nil, fmt.Errorf("provision: no utilization in %v satisfies targets %v", rhos, targets)
+	}
+	return bestRho, bestPlan, nil
+}

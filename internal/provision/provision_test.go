@@ -1,0 +1,99 @@
+package provision
+
+import (
+	"math"
+	"testing"
+
+	"pdds/internal/link"
+	"pdds/internal/traffic"
+)
+
+func recordTrace(t *testing.T, rho float64) *traffic.Trace {
+	t.Helper()
+	tr, err := traffic.Record(traffic.PaperLoad(rho), link.PaperLinkRate, 200000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDeriveGenerousTargetsWorkable(t *testing.T) {
+	tr := recordTrace(t, 0.90)
+	// Requirements in the 2:1 ladder, very generous at the top.
+	targets := []float64{800 * 11.2, 400 * 11.2, 200 * 11.2, 100 * 11.2}
+	plan, err := Derive(tr, link.PaperLinkRate, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.MeetsTargets() || !plan.Feasible || !plan.Workable() {
+		t.Fatalf("generous plan not workable: scale=%.3f feasible=%v", plan.Scale, plan.Feasible)
+	}
+	// DDP/SDP shape.
+	if plan.DDP[0] != 1 || plan.SDP[0] != 1 {
+		t.Fatalf("normalization wrong: ddp=%v sdp=%v", plan.DDP, plan.SDP)
+	}
+	for i := range plan.DDP {
+		if math.Abs(plan.DDP[i]*plan.SDP[i]-1) > 1e-12 {
+			t.Fatalf("SDPs not inverse DDPs: %v %v", plan.DDP, plan.SDP)
+		}
+	}
+	// Every class misses/meets by the same factor.
+	for i := range targets {
+		s := plan.Predicted[i] / targets[i]
+		if math.Abs(s-plan.Scale) > 1e-9 {
+			t.Fatalf("scale not uniform: class %d %.4f vs %.4f", i, s, plan.Scale)
+		}
+	}
+}
+
+func TestDeriveImpossibleTargets(t *testing.T) {
+	tr := recordTrace(t, 0.95)
+	// Sub-transmission-time requirements for everyone: cannot be met.
+	targets := []float64{8, 4, 2, 1}
+	plan, err := Derive(tr, link.PaperLinkRate, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MeetsTargets() || plan.Workable() {
+		t.Fatalf("impossible plan accepted: scale=%.2f", plan.Scale)
+	}
+	if plan.Scale <= 1 {
+		t.Fatalf("scale = %.2f, want > 1", plan.Scale)
+	}
+}
+
+func TestDeriveValidation(t *testing.T) {
+	tr := recordTrace(t, 0.9)
+	if _, err := Derive(tr, link.PaperLinkRate, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Derive(tr, link.PaperLinkRate, []float64{100, 200, 50, 25}); err == nil {
+		t.Error("increasing targets accepted")
+	}
+	if _, err := Derive(tr, link.PaperLinkRate, []float64{100, 0, 0, 0}); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestMaxUtilization(t *testing.T) {
+	targets := []float64{400 * 11.2, 200 * 11.2, 100 * 11.2, 50 * 11.2}
+	rho, plan, err := MaxUtilization(traffic.PaperLoad(0.9), link.PaperLinkRate, targets,
+		[]float64{0.70, 0.80, 0.90, 0.96}, 100000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Workable() {
+		t.Fatal("returned plan not workable")
+	}
+	if rho < 0.80 {
+		t.Fatalf("max rho = %.2f, expected at least 0.80 for these loose targets", rho)
+	}
+	// Hopeless targets: no rho works.
+	if _, _, err := MaxUtilization(traffic.PaperLoad(0.9), link.PaperLinkRate,
+		[]float64{4, 3, 2, 1}, []float64{0.70, 0.90}, 50000, 4); err == nil {
+		t.Fatal("hopeless targets accepted")
+	}
+	if _, _, err := MaxUtilization(traffic.PaperLoad(0.9), link.PaperLinkRate, targets, nil, 50000, 4); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the calendar queue pops in exactly the order the heap does,
+// for arbitrary interleavings of pushes, pops and removals over several
+// time scales (the engine contract: strict (Time, seq) order).
+func TestCalendarMatchesHeapProperty(t *testing.T) {
+	f := func(seed uint64, opsCount uint16, scalePick uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		cal := newCalendarQueue()
+		hp := &heapQueue{}
+		scale := []float64{1, 1e-3, 1e3, 1e6}[scalePick%4]
+		var seq uint64
+		now := 0.0
+		type pair struct{ c, h *Event }
+		var live []pair
+		ops := int(opsCount%600) + 20
+		for k := 0; k < ops; k++ {
+			switch rng.IntN(10) {
+			case 0, 1, 2, 3, 4: // push
+				// Coarse grid forces frequent exact ties.
+				t := now + float64(rng.IntN(50))*scale
+				seq++
+				ce := &Event{Time: t, seq: seq}
+				he := &Event{Time: t, seq: seq}
+				cal.Push(ce)
+				hp.Push(he)
+				live = append(live, pair{ce, he})
+			case 5, 6, 7, 8: // pop
+				ce := cal.Pop()
+				he := hp.Pop()
+				if (ce == nil) != (he == nil) {
+					return false
+				}
+				if ce == nil {
+					continue
+				}
+				if ce.Time != he.Time || ce.seq != he.seq {
+					return false
+				}
+				now = ce.Time // simulated clock advance
+			case 9: // remove a random live event
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.IntN(len(live))
+				p := live[i]
+				live = append(live[:i], live[i+1:]...)
+				// Removal may fail if already popped; the two
+				// structures must agree.
+				cr := cal.Remove(p.c)
+				hr := hp.Remove(p.h)
+				if cr != hr {
+					return false
+				}
+			}
+			if cal.Len() != hp.Len() {
+				return false
+			}
+			cp, hpk := cal.Peek(), hp.Peek()
+			if (cp == nil) != (hpk == nil) {
+				return false
+			}
+			if cp != nil && (cp.Time != hpk.Time || cp.seq != hpk.seq) {
+				return false
+			}
+		}
+		// Drain to the end.
+		for {
+			ce := cal.Pop()
+			he := hp.Pop()
+			if (ce == nil) != (he == nil) {
+				return false
+			}
+			if ce == nil {
+				return true
+			}
+			if ce.Time != he.Time || ce.seq != he.seq {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarEngineRunsSimulation(t *testing.T) {
+	e := NewEngineCalendar()
+	var got []int
+	for i, tm := range []float64{3, 1, 2, 2, 5} {
+		i, tm := i, tm
+		e.At(tm, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	want := []int{1, 2, 3, 0, 4} // times 1, 2(seq2), 2(seq3), 3, 5
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCalendarEngineCancel(t *testing.T) {
+	e := NewEngineCalendar()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCalendarResizeGrowShrink(t *testing.T) {
+	c := newCalendarQueue()
+	var evs []*Event
+	for i := 0; i < 1000; i++ {
+		ev := &Event{Time: float64(i) * 0.37, seq: uint64(i)}
+		evs = append(evs, ev)
+		c.Push(ev)
+	}
+	if len(c.buckets) <= calMinBuckets {
+		t.Fatalf("calendar did not grow: %d buckets", len(c.buckets))
+	}
+	last := -1.0
+	for i := 0; i < 1000; i++ {
+		ev := c.Pop()
+		if ev == nil {
+			t.Fatalf("ran dry at %d", i)
+		}
+		if ev.Time < last {
+			t.Fatalf("out of order: %g after %g", ev.Time, last)
+		}
+		last = ev.Time
+	}
+	if c.Pop() != nil || c.Len() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+	if len(c.buckets) > calMinBuckets*4 {
+		t.Fatalf("calendar did not shrink: %d buckets", len(c.buckets))
+	}
+	_ = evs
+}
+
+// Both engines must produce identical simulation trajectories for a
+// self-scheduling workload (events that spawn events).
+func TestEnginesEquivalentOnSelfSchedulingWorkload(t *testing.T) {
+	run := func(e *Engine) []float64 {
+		var log []float64
+		rng := rand.New(rand.NewPCG(4, 4))
+		var spawn func()
+		count := 0
+		spawn = func() {
+			log = append(log, e.Now())
+			count++
+			if count < 3000 {
+				e.After(rng.Float64()*10, spawn)
+				if count%7 == 0 {
+					e.After(rng.Float64(), func() { log = append(log, -e.Now()) })
+				}
+			}
+		}
+		e.At(0, spawn)
+		e.RunAll()
+		return log
+	}
+	a := run(NewEngine())
+	b := run(NewEngineCalendar())
+	if len(a) != len(b) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngineCalendarScheduleRun(b *testing.B) {
+	e := NewEngineCalendar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkQueueHold measures the classic hold model (push one, pop one at
+// steady state) at a realistic pending-set size for both structures.
+func BenchmarkQueueHold(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		mk   func() eventQueue
+	}{
+		{"heap", func() eventQueue { return &heapQueue{} }},
+		{"calendar", func() eventQueue { return newCalendarQueue() }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			q := impl.mk()
+			rng := rand.New(rand.NewPCG(1, 1))
+			now := 0.0
+			var seq uint64
+			for i := 0; i < 512; i++ {
+				seq++
+				q.Push(&Event{Time: now + rng.Float64()*100, seq: seq})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := q.Pop()
+				now = ev.Time
+				seq++
+				ev.Time = now + rng.Float64()*100
+				ev.seq = seq
+				q.Push(ev)
+			}
+		})
+	}
+}

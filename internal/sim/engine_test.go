@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %g, want 3", e.Now())
+	}
+	if e.Executed() != 3 {
+		t.Fatalf("Executed = %d, want 3", e.Executed())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-broken order = %v, want insertion order", got)
+		}
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.At(2, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("After fired at %g, want 5", at)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	if ev.Canceled() {
+		t.Fatal("fresh event reports canceled")
+	}
+	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("canceled event does not report canceled")
+	}
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after RunAll", e.Pending())
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	var evs []*Event
+	for _, tm := range []float64{5, 1, 9, 3, 7, 2, 8} {
+		tm := tm
+		evs = append(evs, e.At(tm, func() { got = append(got, tm) }))
+	}
+	e.Cancel(evs[0]) // t=5
+	e.Cancel(evs[2]) // t=9
+	e.RunAll()
+	want := []float64{1, 2, 3, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, func() { got = append(got, tm) })
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) executed %d events, want 3", len(got))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10)
+	if len(got) != 5 {
+		t.Fatalf("RunUntil(10) executed %d events total, want 5", len(got))
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.RunAll()
+}
+
+// Property: for any multiset of event times, the engine executes them in
+// nondecreasing time order, and equal times run in insertion order.
+func TestEngineSortsArbitraryTimes(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		e := NewEngine()
+		count := int(n%64) + 1
+		times := make([]float64, count)
+		type fired struct {
+			tm  float64
+			seq int
+		}
+		var got []fired
+		for i := 0; i < count; i++ {
+			// Coarse grid forces many ties.
+			tm := float64(rng.IntN(8))
+			times[i] = tm
+			i := i
+			e.At(tm, func() { got = append(got, fired{tm, i}) })
+		}
+		e.RunAll()
+		sort.Float64s(times)
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i].tm != times[i] {
+				return false
+			}
+			if i > 0 && got[i].tm == got[i-1].tm && got[i].seq < got[i-1].seq {
+				return false // tie broken out of insertion order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBatchMeansBasics(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 95; i++ {
+		b.Add(5)
+	}
+	if b.Batches() != 9 {
+		t.Fatalf("Batches = %d, want 9 (last partial batch pending)", b.Batches())
+	}
+	if b.Mean() != 5 {
+		t.Fatalf("Mean = %g", b.Mean())
+	}
+	ci, err := b.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci != 0 {
+		t.Fatalf("constant series CI = %g, want 0", ci)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batch size 0 accepted")
+			}
+		}()
+		NewBatchMeans(0)
+	}()
+	b := NewBatchMeans(5)
+	for i := 0; i < 20; i++ {
+		b.Add(float64(i))
+	}
+	if _, err := b.CI(0.95); err == nil {
+		t.Error("CI with 4 batches accepted")
+	}
+	for i := 0; i < 80; i++ {
+		b.Add(float64(i))
+	}
+	if _, err := b.CI(0.5); err == nil {
+		t.Error("unsupported level accepted")
+	}
+}
+
+// Coverage property: for IID normal data the 95% CI should contain the
+// true mean in roughly 95% of repetitions.
+func TestBatchMeansCoverage(t *testing.T) {
+	const (
+		trueMean = 10.0
+		reps     = 300
+	)
+	covered := 0
+	for rep := 0; rep < reps; rep++ {
+		rng := rand.New(rand.NewPCG(uint64(rep), 55))
+		b := NewBatchMeans(50)
+		for i := 0; i < 2000; i++ {
+			b.Add(trueMean + rng.NormFloat64()*3)
+		}
+		ci, err := b.CI(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.Mean()-trueMean) <= ci {
+			covered++
+		}
+	}
+	frac := float64(covered) / reps
+	if frac < 0.88 || frac > 0.995 {
+		t.Fatalf("95%% CI covered the mean in %.1f%% of reps", frac*100)
+	}
+}
+
+func TestBatchMeansLevels(t *testing.T) {
+	b := NewBatchMeans(10)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 200; i++ {
+		b.Add(rng.Float64())
+	}
+	ci90, _ := b.CI(0.90)
+	ci95, _ := b.CI(0.95)
+	ci99, _ := b.CI(0.99)
+	if !(ci90 < ci95 && ci95 < ci99) {
+		t.Fatalf("CI widths not ordered: %g %g %g", ci90, ci95, ci99)
+	}
+}

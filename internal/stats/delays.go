@@ -1,0 +1,65 @@
+package stats
+
+import "pdds/internal/core"
+
+// ClassDelays aggregates per-class queueing delays over a run, plus the
+// conservation-law invariant Σ L_p·W_p (which is sample-path identical for
+// every work-conserving discipline on the same arrival trace — the
+// discrete form of Eq. 5).
+type ClassDelays struct {
+	perClass []Welford
+	sumLW    float64
+}
+
+// NewClassDelays returns an aggregator for n classes.
+func NewClassDelays(n int) *ClassDelays {
+	return &ClassDelays{perClass: make([]Welford, n)}
+}
+
+// Observe records a departed packet's waiting time.
+func (c *ClassDelays) Observe(p *core.Packet) {
+	w := p.Wait()
+	c.perClass[p.Class].Add(w)
+	c.sumLW += float64(p.Size) * w
+}
+
+// NumClasses returns the class count.
+func (c *ClassDelays) NumClasses() int { return len(c.perClass) }
+
+// Count returns the number of class-i departures observed.
+func (c *ClassDelays) Count(i int) uint64 { return c.perClass[i].Count() }
+
+// Mean returns the average queueing delay of class i.
+func (c *ClassDelays) Mean(i int) float64 { return c.perClass[i].Mean() }
+
+// Class returns a copy of the class-i accumulator.
+func (c *ClassDelays) Class(i int) Welford { return c.perClass[i] }
+
+// SumLW returns Σ L_p·W_p over the observed packets (byte·time units).
+func (c *ClassDelays) SumLW() float64 { return c.sumLW }
+
+// SuccessiveRatios returns d_i/d_{i+1} for i = 0..N-2 — the paper's
+// "ratio of average delays between successive classes" (Figures 1 and 2).
+// Pairs where the higher class saw no packets or zero delay yield NaN-free
+// zeros to keep downstream aggregation simple; callers should ensure both
+// classes are active before interpreting a ratio.
+func (c *ClassDelays) SuccessiveRatios() []float64 {
+	out := make([]float64, 0, len(c.perClass)-1)
+	for i := 0; i+1 < len(c.perClass); i++ {
+		hi := c.perClass[i+1].Mean()
+		if c.perClass[i].Count() == 0 || c.perClass[i+1].Count() == 0 || hi == 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, c.perClass[i].Mean()/hi)
+	}
+	return out
+}
+
+// Merge folds other (same class count) into c.
+func (c *ClassDelays) Merge(other *ClassDelays) {
+	for i := range c.perClass {
+		c.perClass[i].Merge(other.perClass[i])
+	}
+	c.sumLW += other.sumLW
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper's case for forwarding-level differentiation rests on Internet
+// traffic being "bursty over a wide range of timescales" (§1, §2): with
+// such traffic, provisioning-based differentiation breaks in short
+// timescales. VarianceTime quantifies that premise for the generated
+// workloads: for a self-similar process the variance of the m-aggregated
+// rate series decays as m^(2H−2) with Hurst parameter H > 0.5, while for
+// Poisson-like traffic H ≈ 0.5.
+
+// VarianceTimePoint is one aggregation level of a variance-time plot.
+type VarianceTimePoint struct {
+	// M is the aggregation factor (number of base intervals pooled).
+	M int
+	// Variance is the sample variance of the m-aggregated, mean-
+	// normalized series.
+	Variance float64
+}
+
+// VarianceTime computes the variance-time plot of a count series: counts
+// are the per-base-interval event counts (or byte counts); factors are
+// the aggregation levels to evaluate. Each point reports the variance of
+// the aggregated series normalized by the squared aggregated mean, so
+// levels are comparable.
+func VarianceTime(counts []float64, factors []int) ([]VarianceTimePoint, error) {
+	if len(counts) < 4 {
+		return nil, fmt.Errorf("stats: variance-time needs >= 4 intervals, got %d", len(counts))
+	}
+	var out []VarianceTimePoint
+	for _, m := range factors {
+		if m < 1 {
+			return nil, fmt.Errorf("stats: aggregation factor %d < 1", m)
+		}
+		blocks := len(counts) / m
+		if blocks < 2 {
+			return nil, fmt.Errorf("stats: factor %d leaves %d blocks (need >= 2)", m, blocks)
+		}
+		var w Welford
+		for b := 0; b < blocks; b++ {
+			var sum float64
+			for i := 0; i < m; i++ {
+				sum += counts[b*m+i]
+			}
+			w.Add(sum)
+		}
+		mean := w.Mean()
+		if mean == 0 {
+			return nil, fmt.Errorf("stats: factor %d has zero mean", m)
+		}
+		out = append(out, VarianceTimePoint{M: m, Variance: w.Var() / (mean * mean)})
+	}
+	return out, nil
+}
+
+// HurstEstimate fits log(variance) against log(m) over a variance-time
+// plot by least squares and returns H = 1 + slope/2. H ≈ 0.5 indicates
+// short-range dependence; H → 1 indicates strong self-similarity.
+func HurstEstimate(points []VarianceTimePoint) (float64, error) {
+	if len(points) < 2 {
+		return 0, fmt.Errorf("stats: Hurst fit needs >= 2 points")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(points))
+	for _, p := range points {
+		if p.Variance <= 0 || p.M < 1 {
+			return 0, fmt.Errorf("stats: invalid variance-time point %+v", p)
+		}
+		x := math.Log(float64(p.M))
+		y := math.Log(p.Variance)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("stats: degenerate aggregation levels")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return 1 + slope/2, nil
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestVarianceTimeValidation(t *testing.T) {
+	if _, err := VarianceTime([]float64{1, 2}, []int{1}); err == nil {
+		t.Error("short series accepted")
+	}
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i % 5)
+	}
+	if _, err := VarianceTime(series, []int{0}); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := VarianceTime(series, []int{60}); err == nil {
+		t.Error("factor leaving <2 blocks accepted")
+	}
+	if _, err := VarianceTime(make([]float64, 100), []int{1}); err == nil {
+		t.Error("zero-mean series accepted")
+	}
+}
+
+func TestHurstEstimateValidation(t *testing.T) {
+	if _, err := HurstEstimate(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := HurstEstimate([]VarianceTimePoint{{M: 1, Variance: 1}, {M: 2, Variance: -1}}); err == nil {
+		t.Error("negative variance accepted")
+	}
+	if _, err := HurstEstimate([]VarianceTimePoint{{M: 2, Variance: 1}, {M: 2, Variance: 1}}); err == nil {
+		t.Error("degenerate levels accepted")
+	}
+}
+
+func TestHurstExactSlope(t *testing.T) {
+	// Synthetic plot with variance exactly m^(2H-2) for H = 0.8.
+	var points []VarianceTimePoint
+	for _, m := range []int{1, 2, 4, 8, 16} {
+		points = append(points, VarianceTimePoint{
+			M:        m,
+			Variance: math.Pow(float64(m), 2*0.8-2),
+		})
+	}
+	h, err := HurstEstimate(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.799 || h > 0.801 {
+		t.Fatalf("H = %g, want 0.8", h)
+	}
+}
+
+// IID counts should show H ≈ 0.5; a long-memory-like series (slowly
+// varying level shifts) should show H well above 0.5. This separates the
+// estimator's verdicts the way Pareto vs Poisson traffic does.
+func TestHurstSeparatesIIDFromLongMemory(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	n := 1 << 14
+	iid := make([]float64, n)
+	for i := range iid {
+		iid[i] = 100 + rng.NormFloat64()*10
+	}
+	factors := []int{1, 2, 4, 8, 16, 32, 64}
+	pts, err := VarianceTime(iid, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIID, err := HurstEstimate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hIID < 0.35 || hIID > 0.65 {
+		t.Fatalf("IID H = %g, want ≈0.5", hIID)
+	}
+
+	// Level-shift process: the mean jumps every 512 samples — variance
+	// decays much slower under aggregation.
+	ls := make([]float64, n)
+	level := 100.0
+	for i := range ls {
+		if i%512 == 0 {
+			level = 60 + rng.Float64()*80
+		}
+		ls[i] = level + rng.NormFloat64()*5
+	}
+	pts, err = VarianceTime(ls, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hLS, err := HurstEstimate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLS < 0.8 {
+		t.Fatalf("long-memory H = %g, want > 0.8", hLS)
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample collects values for exact quantile queries. For the run sizes of
+// this reproduction (≤ a few million records) exact sorting is both
+// affordable and simpler to trust than streaming sketches.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends x.
+func (s *Sample) Add(x float64) {
+	s.vals = append(s.vals, x)
+	s.sorted = false
+}
+
+// Len returns the number of values.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) using linear interpolation
+// between order statistics. It panics on an empty sample or p outside
+// [0,1].
+func (s *Sample) Quantile(p float64) float64 {
+	if len(s.vals) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%g outside [0,1]", p))
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if len(s.vals) == 1 {
+		return s.vals[0]
+	}
+	pos := p * float64(len(s.vals)-1)
+	lo := int(pos)
+	if lo == len(s.vals)-1 {
+		return s.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[lo+1]*frac
+}
+
+// Quantiles evaluates several quantiles at once.
+func (s *Sample) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = s.Quantile(p)
+	}
+	return out
+}
+
+// Mean returns the sample mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Values returns the underlying values (sorted if a quantile has been
+// queried). The slice is owned by the sample; callers must not modify it.
+func (s *Sample) Values() []float64 { return s.vals }
+
+// Reset discards all values but keeps the allocation.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.sorted = false
+}
+
+// FivePercentiles are the box-plot percentiles used by Figure 3.
+var FivePercentiles = []float64{0.05, 0.25, 0.50, 0.75, 0.95}
+
+// StudyBPercentiles are the ten end-to-end delay percentiles of Study B:
+// 10%, 20%, ..., 90%, and 99%.
+var StudyBPercentiles = []float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.99}

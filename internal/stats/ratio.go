@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+
+	"pdds/internal/core"
+)
+
+// IntervalRD measures the short-timescale proportional differentiation of
+// Eq. (2) the way §5 does for Figure 3: the run is sliced into consecutive
+// intervals of length Tau; in each interval the per-class average delay of
+// the packets *departing* in it is computed; the ratios of average delays
+// between successive classes are averaged into a single value R_D for the
+// interval; the distribution of R_D across intervals is then summarized by
+// percentiles.
+//
+// When one or more classes are inactive in an interval (no departures) the
+// paper "normalizes the ratios of average delays of the active classes":
+// here each adjacent *active* pair (i, j), i < j contributes the per-step
+// geometric equivalent (d_i/d_j)^(1/(j−i)), so a ratio measured across a
+// gap of g class steps is comparable with single-step ratios.
+//
+// Observe must be called in nondecreasing departure-time order, which a
+// sequential simulation guarantees.
+type IntervalRD struct {
+	tau     float64
+	classes int
+	start   float64
+	started bool
+
+	sum []float64
+	cnt []uint64
+
+	rd Sample
+}
+
+// NewIntervalRD returns a tracker with monitoring timescale tau for the
+// given class count.
+func NewIntervalRD(tau float64, classes int) *IntervalRD {
+	if !(tau > 0) {
+		panic("stats: IntervalRD tau must be > 0")
+	}
+	if classes < 2 {
+		panic("stats: IntervalRD needs at least two classes")
+	}
+	return &IntervalRD{
+		tau:     tau,
+		classes: classes,
+		sum:     make([]float64, classes),
+		cnt:     make([]uint64, classes),
+	}
+}
+
+// Tau returns the monitoring timescale.
+func (t *IntervalRD) Tau() float64 { return t.tau }
+
+// Observe records a departed packet.
+func (t *IntervalRD) Observe(p *core.Packet) {
+	if !t.started {
+		t.started = true
+		// Align interval boundaries to multiples of tau.
+		t.start = math.Floor(p.Departure/t.tau) * t.tau
+	}
+	for p.Departure >= t.start+t.tau {
+		t.flush()
+		t.start += t.tau
+	}
+	t.sum[p.Class] += p.Wait()
+	t.cnt[p.Class]++
+}
+
+// Finish flushes the final partial interval. Call once, after the run.
+func (t *IntervalRD) Finish() {
+	if t.started {
+		t.flush()
+	}
+}
+
+// RD returns the collected per-interval R_D values. Finish should be
+// called first so the last interval is included.
+func (t *IntervalRD) RD() *Sample { return &t.rd }
+
+func (t *IntervalRD) flush() {
+	// Gather active classes.
+	var active []int
+	for i := 0; i < t.classes; i++ {
+		if t.cnt[i] > 0 && t.sum[i] > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) >= 2 {
+		var total float64
+		var pairs int
+		for k := 0; k+1 < len(active); k++ {
+			i, j := active[k], active[k+1]
+			di := t.sum[i] / float64(t.cnt[i])
+			dj := t.sum[j] / float64(t.cnt[j])
+			if dj <= 0 {
+				continue
+			}
+			ratio := di / dj
+			if gap := j - i; gap > 1 {
+				ratio = math.Pow(ratio, 1/float64(gap))
+			}
+			total += ratio
+			pairs++
+		}
+		if pairs > 0 {
+			t.rd.Add(total / float64(pairs))
+		}
+	}
+	for i := range t.sum {
+		t.sum[i], t.cnt[i] = 0, 0
+	}
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+
+	"pdds/internal/core"
+)
+
+// IntervalPoint is one point of a microscopic view I series: the average
+// queueing delay of a class over one aggregation interval.
+type IntervalPoint struct {
+	// Time is the start of the aggregation interval.
+	Time float64
+	// AvgDelay is the mean queueing delay of the packets of the class
+	// that departed in the interval.
+	AvgDelay float64
+	// Count is the number of departures aggregated.
+	Count int
+}
+
+// ViewI captures Figures 4-a/5-a style series: per-class average queueing
+// delay over consecutive intervals of length Tau, within [From, To).
+// Observe must be called in nondecreasing departure-time order.
+type ViewI struct {
+	Tau      float64
+	From, To float64
+
+	series [][]IntervalPoint
+	start  float64
+	sum    []float64
+	cnt    []int
+	open   bool
+}
+
+// NewViewI returns a view-I capturer for the given class count.
+func NewViewI(classes int, tau, from, to float64) *ViewI {
+	if !(tau > 0) || !(to > from) {
+		panic("stats: ViewI needs tau > 0 and to > from")
+	}
+	return &ViewI{
+		Tau:    tau,
+		From:   from,
+		To:     to,
+		series: make([][]IntervalPoint, classes),
+		sum:    make([]float64, classes),
+		cnt:    make([]int, classes),
+	}
+}
+
+// Observe records a departed packet.
+func (v *ViewI) Observe(p *core.Packet) {
+	if p.Departure < v.From || p.Departure >= v.To {
+		if v.open && p.Departure >= v.To {
+			v.flush()
+			v.open = false
+		}
+		return
+	}
+	if !v.open {
+		v.open = true
+		v.start = v.From + math.Floor((p.Departure-v.From)/v.Tau)*v.Tau
+	}
+	for p.Departure >= v.start+v.Tau {
+		v.flush()
+		v.start += v.Tau
+	}
+	v.sum[p.Class] += p.Wait()
+	v.cnt[p.Class]++
+}
+
+// Finish flushes the final open interval.
+func (v *ViewI) Finish() {
+	if v.open {
+		v.flush()
+		v.open = false
+	}
+}
+
+// Series returns the captured per-class interval series.
+func (v *ViewI) Series(class int) []IntervalPoint { return v.series[class] }
+
+func (v *ViewI) flush() {
+	for c := range v.series {
+		if v.cnt[c] > 0 {
+			v.series[c] = append(v.series[c], IntervalPoint{
+				Time:     v.start,
+				AvgDelay: v.sum[c] / float64(v.cnt[c]),
+				Count:    v.cnt[c],
+			})
+		}
+		v.sum[c], v.cnt[c] = 0, 0
+	}
+}
+
+// PacketPoint is one point of a microscopic view II series: a single
+// packet's queueing delay at its departure time.
+type PacketPoint struct {
+	Departure float64
+	Delay     float64
+	Class     int
+}
+
+// ViewII captures Figures 4-b/5-b style series: the queueing delay of each
+// individual packet departing within [From, To).
+type ViewII struct {
+	From, To float64
+	points   []PacketPoint
+}
+
+// NewViewII returns a view-II capturer for the window [from, to).
+func NewViewII(from, to float64) *ViewII {
+	if !(to > from) {
+		panic("stats: ViewII needs to > from")
+	}
+	return &ViewII{From: from, To: to}
+}
+
+// Observe records a departed packet.
+func (v *ViewII) Observe(p *core.Packet) {
+	if p.Departure < v.From || p.Departure >= v.To {
+		return
+	}
+	v.points = append(v.points, PacketPoint{Departure: p.Departure, Delay: p.Wait(), Class: p.Class})
+}
+
+// Points returns the captured per-packet points in departure order.
+func (v *ViewII) Points() []PacketPoint { return v.points }
+
+// SawtoothIndex quantifies the "sawtooth-type variations" §5 describes in
+// BPR's microscopic view II: the root-mean-square of the delay difference
+// between consecutive departures of the same class, normalized by the
+// class's mean delay. BPR's gradual ramps punctuated by sudden drops give
+// a visibly larger index than WTP's smoother evolution, turning the
+// paper's visual comparison of Figures 4 and 5 into a number.
+func SawtoothIndex(points []PacketPoint, class int) float64 {
+	var prev float64
+	var have bool
+	var sumSq, sumDelay float64
+	var jumps, count int
+	for _, pt := range points {
+		if pt.Class != class {
+			continue
+		}
+		sumDelay += pt.Delay
+		count++
+		if have {
+			d := pt.Delay - prev
+			sumSq += d * d
+			jumps++
+		}
+		prev, have = pt.Delay, true
+	}
+	if jumps == 0 || sumDelay == 0 {
+		return 0
+	}
+	mean := sumDelay / float64(count)
+	return math.Sqrt(sumSq/float64(jumps)) / mean
+}

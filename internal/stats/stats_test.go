@@ -1,0 +1,344 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pdds/internal/core"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("zero Welford not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %g, want %g", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", w.Min(), w.Max())
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatal("Std wrong")
+	}
+}
+
+// Property: merging two Welfords equals feeding all samples to one.
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(seed uint64, n1, n2 uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		var a, b, all Welford
+		for i := 0; i < int(n1); i++ {
+			x := rng.NormFloat64() * 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(n2); i++ {
+			x := rng.NormFloat64()*3 + 5
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Merge(b) // merging empty is a no-op
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 100; i >= 1; i-- { // reverse order exercises sorting
+		s.Add(float64(i))
+	}
+	if s.Len() != 100 {
+		t.Fatal("Len wrong")
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %g", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %g", got)
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50.5) > 1e-12 {
+		t.Fatalf("median = %g, want 50.5", got)
+	}
+	qs := s.Quantiles(FivePercentiles...)
+	if len(qs) != 5 || qs[2] != s.Quantile(0.5) {
+		t.Fatal("Quantiles inconsistent")
+	}
+	if math.Abs(s.Mean()-50.5) > 1e-12 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSampleQuantilePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty quantile did not panic")
+			}
+		}()
+		s.Quantile(0.5)
+	}()
+	s.Add(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("p out of range did not panic")
+			}
+		}()
+		s.Quantile(1.5)
+	}()
+	if s.Quantile(0.3) != 1 {
+		t.Fatal("single-element quantile wrong")
+	}
+}
+
+// Property: Quantile matches direct computation on the sorted slice.
+func TestSampleQuantileMatchesSort(t *testing.T) {
+	f := func(seed uint64, n uint8, pRaw uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		count := int(n%100) + 1
+		var s Sample
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+			s.Add(vals[i])
+		}
+		p := float64(pRaw%1001) / 1000
+		sort.Float64s(vals)
+		pos := p * float64(count-1)
+		lo := int(pos)
+		var want float64
+		if lo >= count-1 {
+			want = vals[count-1]
+		} else {
+			frac := pos - float64(lo)
+			want = vals[lo]*(1-frac) + vals[lo+1]*frac
+		}
+		return math.Abs(s.Quantile(p)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dep(class int, arrival, start, departure float64) *core.Packet {
+	return &core.Packet{Class: class, Size: 500, Arrival: arrival, Start: start, Departure: departure}
+}
+
+func TestClassDelays(t *testing.T) {
+	c := NewClassDelays(3)
+	c.Observe(dep(0, 0, 10, 11)) // wait 10
+	c.Observe(dep(0, 5, 25, 26)) // wait 20
+	c.Observe(dep(1, 0, 5, 6))   // wait 5
+	c.Observe(dep(2, 0, 2, 3))   // wait 2
+	if c.NumClasses() != 3 {
+		t.Fatal("NumClasses wrong")
+	}
+	if c.Count(0) != 2 || c.Mean(0) != 15 {
+		t.Fatalf("class 0: count=%d mean=%g", c.Count(0), c.Mean(0))
+	}
+	r := c.SuccessiveRatios()
+	if len(r) != 2 || r[0] != 3 || r[1] != 2.5 {
+		t.Fatalf("ratios = %v, want [3 2.5]", r)
+	}
+	wantLW := 500.0 * (10 + 20 + 5 + 2)
+	if c.SumLW() != wantLW {
+		t.Fatalf("SumLW = %g, want %g", c.SumLW(), wantLW)
+	}
+	if c.Class(1).Mean() != 5 {
+		t.Fatal("Class accessor wrong")
+	}
+}
+
+func TestClassDelaysInactiveRatioZero(t *testing.T) {
+	c := NewClassDelays(2)
+	c.Observe(dep(0, 0, 10, 11))
+	if r := c.SuccessiveRatios(); r[0] != 0 {
+		t.Fatalf("ratio with inactive class = %g, want 0", r[0])
+	}
+}
+
+func TestClassDelaysMerge(t *testing.T) {
+	a, b := NewClassDelays(2), NewClassDelays(2)
+	a.Observe(dep(0, 0, 10, 11))
+	b.Observe(dep(0, 0, 20, 21))
+	b.Observe(dep(1, 0, 6, 7))
+	a.Merge(b)
+	if a.Count(0) != 2 || a.Mean(0) != 15 || a.Count(1) != 1 {
+		t.Fatal("merge wrong")
+	}
+	if a.SumLW() != 500.0*(10+20+6) {
+		t.Fatal("merged SumLW wrong")
+	}
+}
+
+func TestIntervalRDBasic(t *testing.T) {
+	rd := NewIntervalRD(100, 2)
+	if rd.Tau() != 100 {
+		t.Fatal("Tau wrong")
+	}
+	// Interval [0,100): class 0 mean 20, class 1 mean 10 → R_D = 2.
+	rd.Observe(dep(0, 0, 20, 30))
+	rd.Observe(dep(1, 0, 10, 40))
+	// Interval [100,200): class 0 mean 30, class 1 mean 10 → R_D = 3.
+	rd.Observe(dep(0, 100, 130, 150))
+	rd.Observe(dep(1, 140, 150, 160))
+	rd.Finish()
+	s := rd.RD()
+	if s.Len() != 2 {
+		t.Fatalf("R_D intervals = %d, want 2", s.Len())
+	}
+	if got := s.Quantile(0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("min R_D = %g, want 2", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("max R_D = %g, want 3", got)
+	}
+}
+
+func TestIntervalRDSkipsSingleActiveClass(t *testing.T) {
+	rd := NewIntervalRD(100, 3)
+	rd.Observe(dep(1, 0, 10, 50)) // only one class active in [0,100)
+	rd.Observe(dep(0, 100, 120, 150))
+	rd.Observe(dep(2, 100, 105, 160))
+	rd.Finish()
+	if rd.RD().Len() != 1 {
+		t.Fatalf("R_D count = %d, want 1 (single-class interval skipped)", rd.RD().Len())
+	}
+}
+
+func TestIntervalRDGapNormalization(t *testing.T) {
+	// Classes 0 and 2 active (gap 2), ratio 16 → normalized per-step
+	// ratio 4.
+	rd := NewIntervalRD(1000, 3)
+	rd.Observe(dep(0, 0, 160, 200))
+	rd.Observe(dep(2, 0, 10, 300))
+	rd.Finish()
+	if got := rd.RD().Quantile(0.5); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("normalized R_D = %g, want 4", got)
+	}
+}
+
+func TestIntervalRDValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewIntervalRD(0, 2) },
+		func() { NewIntervalRD(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestViewICapturesWindow(t *testing.T) {
+	v := NewViewI(2, 10, 100, 200)
+	v.Observe(dep(0, 0, 5, 50)) // before window: ignored
+	v.Observe(dep(0, 100, 110, 115))
+	v.Observe(dep(0, 100, 112, 118)) // same interval [110,120)
+	v.Observe(dep(1, 100, 112, 119))
+	v.Observe(dep(0, 150, 160, 165)) // interval [160,170)
+	v.Observe(dep(0, 200, 250, 260)) // after window: flushes + ignored
+	v.Finish()
+	s0 := v.Series(0)
+	if len(s0) != 2 {
+		t.Fatalf("class 0 series has %d points, want 2", len(s0))
+	}
+	if s0[0].Count != 2 || math.Abs(s0[0].AvgDelay-((110-100)+(112-100))/2.0) > 1e-12 {
+		t.Fatalf("first point wrong: %+v", s0[0])
+	}
+	if len(v.Series(1)) != 1 {
+		t.Fatal("class 1 series wrong")
+	}
+}
+
+func TestViewIIWindowAndSawtooth(t *testing.T) {
+	v := NewViewII(0, 1000)
+	// Class 0: sawtooth 10,20,30,10,20,30 — large jumps.
+	for i, d := range []float64{10, 20, 30, 10, 20, 30} {
+		v.Observe(dep(0, float64(i*10), float64(i*10)+d, float64(i*10)+d+1))
+	}
+	// Class 1: smooth 20,20,20,20.
+	for i := 0; i < 4; i++ {
+		v.Observe(dep(1, float64(i*10), float64(i*10)+20, float64(i*10)+21))
+	}
+	v.Observe(dep(0, 2000, 2010, 2011)) // outside window
+	if len(v.Points()) != 10 {
+		t.Fatalf("captured %d points, want 10", len(v.Points()))
+	}
+	saw0 := SawtoothIndex(v.Points(), 0)
+	saw1 := SawtoothIndex(v.Points(), 1)
+	if !(saw0 > saw1) {
+		t.Fatalf("sawtooth index: jagged=%g smooth=%g, want jagged > smooth", saw0, saw1)
+	}
+	if saw1 != 0 {
+		t.Fatalf("constant series sawtooth = %g, want 0", saw1)
+	}
+	if SawtoothIndex(nil, 0) != 0 {
+		t.Fatal("empty sawtooth not 0")
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewViewI(2, 0, 0, 10) },
+		func() { NewViewI(2, 1, 10, 5) },
+		func() { NewViewII(10, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,89 @@
+// Package stats provides the measurement machinery of the evaluation:
+// streaming moments, exact quantiles, the per-interval average-delay ratio
+// metric R_D of §5 (with the paper's normalization for inactive classes),
+// and time-series capture for the microscopic views of Figures 4 and 5.
+package stats
+
+import "math"
+
+// Welford accumulates count, mean and variance in one pass with Welford's
+// numerically stable recurrence.
+type Welford struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates x.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with <2 samples).
+func (w Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (w Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (w Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds other into w (parallel Welford combination).
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	d := other.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += other.m2 + d*d*n1*n2/tot
+	w.n += other.n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}

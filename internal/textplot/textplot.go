@@ -1,0 +1,138 @@
+// Package textplot renders small line/scatter plots as plain text for
+// terminal inspection of experiment results — enough to see the Figure 1
+// convergence curves without leaving the shell.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points drawn with a single marker rune.
+type Series struct {
+	Name   string
+	Marker rune
+	Points []Point
+}
+
+// Plot is a text plot under construction.
+type Plot struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the grid dimensions in characters
+	// (default 64×16).
+	Width, Height int
+	// YMin/YMax fix the y range; when both are zero the range is
+	// derived from the data with a small margin.
+	YMin, YMax float64
+
+	series []Series
+}
+
+// Add appends a series. Markers default to letters a, b, c... when zero.
+func (p *Plot) Add(s Series) {
+	if s.Marker == 0 {
+		s.Marker = rune('a' + len(p.series))
+	}
+	p.series = append(p.series, s)
+}
+
+// Render draws the plot. It returns an error when there is nothing to
+// draw.
+func (p *Plot) Render() (string, error) {
+	width, height := p.Width, p.Height
+	if width == 0 {
+		width = 64
+	}
+	if height == 0 {
+		height = 16
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("textplot: grid %dx%d too small", width, height)
+	}
+	var xMin, xMax, yMin, yMax float64
+	first := true
+	for _, s := range p.series {
+		for _, pt := range s.Points {
+			if math.IsNaN(pt.X) || math.IsNaN(pt.Y) || math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) {
+				return "", fmt.Errorf("textplot: non-finite point in series %q", s.Name)
+			}
+			if first {
+				xMin, xMax, yMin, yMax = pt.X, pt.X, pt.Y, pt.Y
+				first = false
+				continue
+			}
+			xMin = math.Min(xMin, pt.X)
+			xMax = math.Max(xMax, pt.X)
+			yMin = math.Min(yMin, pt.Y)
+			yMax = math.Max(yMax, pt.Y)
+		}
+	}
+	if first {
+		return "", fmt.Errorf("textplot: no points")
+	}
+	if p.YMin != 0 || p.YMax != 0 {
+		yMin, yMax = p.YMin, p.YMax
+	} else if yMin == yMax {
+		yMin -= 1
+		yMax += 1
+	} else {
+		margin := (yMax - yMin) * 0.05
+		yMin -= margin
+		yMax += margin
+	}
+	if xMin == xMax {
+		xMin -= 1
+		xMax += 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	plotX := func(x float64) int {
+		return int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+	}
+	plotY := func(y float64) int {
+		// Row 0 is the top.
+		return height - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(height-1)))
+	}
+	for _, s := range p.series {
+		for _, pt := range s.Points {
+			c, r := plotX(pt.X), plotY(pt.Y)
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3g ", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%7.3g ", yMin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.3g ", (yMin+yMax)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        %-*.4g%*.4g\n", width/2, xMin, width-width/2, xMax)
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "        %s\n", strings.Join(legend, "  "))
+	return b.String(), nil
+}

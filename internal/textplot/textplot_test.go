@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var p Plot
+	p.Title = "ratios"
+	p.Add(Series{Name: "wtp", Points: []Point{{0.7, 1.5}, {0.8, 1.7}, {0.95, 1.95}}})
+	p.Add(Series{Name: "bpr", Points: []Point{{0.7, 1.3}, {0.8, 1.6}, {0.95, 2.1}}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ratios", "a=wtp", "b=bpr", "0.7", "0.95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Default grid: 16 plot rows + title + x axis + legend.
+	if lines := strings.Count(out, "\n"); lines != 19 {
+		t.Fatalf("line count = %d\n%s", lines, out)
+	}
+	// Higher y values appear on earlier lines: the 2.1 marker (b) must
+	// be above the 1.3 marker (b).
+	rows := strings.Split(out, "\n")
+	firstB, lastB := -1, -1
+	for i, row := range rows {
+		if strings.Contains(row, "b") && strings.Contains(row, "|") && !strings.Contains(row, "b=bpr") {
+			if firstB == -1 {
+				firstB = i
+			}
+			lastB = i
+		}
+	}
+	if firstB == -1 || firstB == lastB {
+		t.Fatalf("expected b markers on multiple rows:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var empty Plot
+	if _, err := empty.Render(); err == nil {
+		t.Error("empty plot rendered")
+	}
+	var tiny Plot
+	tiny.Width, tiny.Height = 4, 2
+	tiny.Add(Series{Points: []Point{{0, 0}}})
+	if _, err := tiny.Render(); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	var nan Plot
+	nan.Add(Series{Points: []Point{{math.NaN(), 1}}})
+	if _, err := nan.Render(); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "flat", Points: []Point{{1, 5}, {1, 5}}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flat") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	var p Plot
+	p.YMin, p.YMax = 0, 4
+	p.Add(Series{Name: "s", Points: []Point{{0, 2}, {1, 2}}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4") || !strings.Contains(out, "0") {
+		t.Fatalf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestMarkerAutoAssignment(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "one", Points: []Point{{0, 0}}})
+	p.Add(Series{Name: "two", Points: []Point{{1, 1}}})
+	p.Add(Series{Name: "three", Marker: '*', Points: []Point{{2, 2}}})
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a=one", "b=two", "*=three"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("legend missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+	"pdds/internal/stats"
+)
+
+// measureHurst generates the aggregate workload and estimates the Hurst
+// parameter of its byte-count series via the variance-time plot.
+func measureHurst(t *testing.T, poisson bool, alpha float64, seed uint64) float64 {
+	t.Helper()
+	load := LoadSpec{
+		Rho:       0.95,
+		Fractions: []float64{0.4, 0.3, 0.2, 0.1},
+		Sizes:     PaperSizes(),
+		Alpha:     alpha,
+		Poisson:   poisson,
+	}
+	sources, err := load.Build(441.0/11.2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine()
+	const horizon = 2e6
+	const base = 56 // 5 p-units per bucket
+	counts := make([]float64, int(horizon)/base)
+	StartAll(engine, sources, func(p *core.Packet) {
+		i := int(p.Arrival) / base
+		if i < len(counts) {
+			counts[i] += float64(p.Size)
+		}
+	})
+	engine.RunUntil(horizon)
+	pts, err := stats.VarianceTime(counts, []int{1, 4, 16, 64, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stats.HurstEstimate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// The paper's premise (§1/§2): its Pareto traffic is "bursty over a wide
+// range of timescales". For heavy-tailed renewal arrivals the counts have
+// Hurst parameter H = (3−α)/2, i.e. 0.55 at the paper's α=1.9, versus 0.5
+// for Poisson; lower α must push H higher. These estimates pin the
+// generators to that theory.
+func TestWorkloadBurstinessMatchesTheory(t *testing.T) {
+	hPareto := measureHurst(t, false, 1.9, 1)
+	hPoisson := measureHurst(t, true, 1.9, 1)
+	hHeavy := measureHurst(t, false, 1.2, 1)
+	if hPareto < 0.52 || hPareto > 0.64 {
+		t.Errorf("Pareto(1.9) H = %.3f, theory predicts ≈0.55", hPareto)
+	}
+	if hPoisson < 0.40 || hPoisson > 0.56 {
+		t.Errorf("Poisson H = %.3f, want ≈0.5", hPoisson)
+	}
+	if hHeavy < 0.68 {
+		t.Errorf("Pareto(1.2) H = %.3f, want > 0.68 (≈0.9 asymptotically)", hHeavy)
+	}
+	if !(hHeavy > hPareto && hPareto > hPoisson) {
+		t.Errorf("H ordering violated: %.3f / %.3f / %.3f", hHeavy, hPareto, hPoisson)
+	}
+}

@@ -1,0 +1,175 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+)
+
+// Sink receives generated packets (typically a link's arrival handler).
+type Sink func(*core.Packet)
+
+// Source is a single-class packet source: packets of class Class with
+// sizes from Sizes arrive with interarrivals from Inter. This is the §5
+// model — "a BPR/WTP scheduler services N packet sources, with one source
+// for each service class".
+type Source struct {
+	Class int
+	Inter Interarrival
+	Sizes SizeDist
+	RNG   *rand.Rand
+
+	engine *sim.Engine
+	sink   Sink
+	nextID uint64
+	idBase uint64
+	count  uint64
+}
+
+// Start begins emitting packets into sink on the engine. The first packet
+// arrives one interarrival after the current simulation time. idBase
+// namespaces packet IDs so multiple sources never collide.
+func (s *Source) Start(engine *sim.Engine, sink Sink, idBase uint64) {
+	if s.Inter == nil || s.Sizes == nil || s.RNG == nil {
+		panic("traffic: Source requires Inter, Sizes and RNG")
+	}
+	s.engine = engine
+	s.sink = sink
+	s.idBase = idBase
+	s.scheduleNext()
+}
+
+// Emitted returns how many packets the source has generated so far.
+func (s *Source) Emitted() uint64 { return s.count }
+
+func (s *Source) scheduleNext() {
+	d := s.Inter.Next(s.RNG)
+	s.engine.After(d, s.emit)
+}
+
+func (s *Source) emit() {
+	now := s.engine.Now()
+	s.nextID++
+	s.count++
+	p := &core.Packet{
+		ID:      s.idBase + s.nextID,
+		Class:   s.Class,
+		Size:    s.Sizes.Next(s.RNG),
+		Arrival: now,
+		Birth:   now,
+	}
+	s.sink(p)
+	s.scheduleNext()
+}
+
+// LoadSpec describes an offered load for a multi-class source set: total
+// utilization rho on a link of linkRate bytes/tu, split across classes by
+// Fractions (must sum to 1).
+type LoadSpec struct {
+	// Rho is the target utilization in (0, ~1]; the paper studies 0.70
+	// to 0.999.
+	Rho float64
+	// Fractions is the class load distribution, e.g. the paper's default
+	// {0.40, 0.30, 0.20, 0.10} for classes 1..4.
+	Fractions []float64
+	// Sizes is the shared packet-size distribution (same for all classes
+	// per §3's conservation-law assumption).
+	Sizes SizeDist
+	// Alpha is the Pareto shape for interarrivals (paper: 1.9). If
+	// Poisson is true Alpha is ignored.
+	Alpha float64
+	// Poisson selects exponential interarrivals instead of Pareto.
+	Poisson bool
+}
+
+// Validate checks the spec.
+func (l LoadSpec) Validate() error {
+	if !(l.Rho > 0) || l.Rho > 1.5 {
+		return fmt.Errorf("traffic: rho %g out of range", l.Rho)
+	}
+	if len(l.Fractions) == 0 {
+		return fmt.Errorf("traffic: no class fractions")
+	}
+	var sum float64
+	for _, f := range l.Fractions {
+		if f < 0 {
+			return fmt.Errorf("traffic: negative class fraction %g", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("traffic: class fractions sum to %g, want 1", sum)
+	}
+	if l.Sizes == nil {
+		return fmt.Errorf("traffic: nil size distribution")
+	}
+	if !l.Poisson && !(l.Alpha > 1) {
+		return fmt.Errorf("traffic: Pareto alpha %g must be > 1", l.Alpha)
+	}
+	return nil
+}
+
+// Rates returns the per-class packet arrival rates (packets per time unit)
+// that realize the spec on a link of linkRate bytes per time unit:
+// lambda_agg = rho·linkRate/meanSize, lambda_i = f_i·lambda_agg.
+func (l LoadSpec) Rates(linkRate float64) []float64 {
+	agg := l.Rho * linkRate / l.Sizes.Mean()
+	rates := make([]float64, len(l.Fractions))
+	for i, f := range l.Fractions {
+		rates[i] = f * agg
+	}
+	return rates
+}
+
+// Build creates one Source per class with independent RNG streams derived
+// from seed, and returns them (classes with zero fraction get no source).
+// Call Start on each to begin the workload.
+func (l LoadSpec) Build(linkRate float64, seed uint64) ([]*Source, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	rates := l.Rates(linkRate)
+	sources := make([]*Source, 0, len(rates))
+	for class, lambda := range rates {
+		if lambda == 0 {
+			continue
+		}
+		mean := 1 / lambda
+		var inter Interarrival
+		if l.Poisson {
+			inter = NewExponential(mean)
+		} else {
+			inter = NewPareto(l.Alpha, mean)
+		}
+		sources = append(sources, &Source{
+			Class: class,
+			Inter: inter,
+			Sizes: l.Sizes,
+			// Distinct second-seed per class keeps streams
+			// independent but reproducible.
+			RNG: NewRNG(seed, 0x9e3779b9+uint64(class)),
+		})
+	}
+	return sources, nil
+}
+
+// StartAll starts every source on the engine with non-overlapping ID bases.
+func StartAll(engine *sim.Engine, sources []*Source, sink Sink) {
+	for i, s := range sources {
+		s.Start(engine, sink, uint64(i+1)<<40)
+	}
+}
+
+// PaperLoad returns the paper's default Study A workload: Pareto α=1.9
+// interarrivals, trimodal sizes, class fractions 40/30/20/10 (class 1 is
+// the lowest), at utilization rho.
+func PaperLoad(rho float64) LoadSpec {
+	return LoadSpec{
+		Rho:       rho,
+		Fractions: []float64{0.40, 0.30, 0.20, 0.10},
+		Sizes:     PaperSizes(),
+		Alpha:     1.9,
+	}
+}

@@ -1,0 +1,195 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+)
+
+func TestLoadSpecValidate(t *testing.T) {
+	good := PaperLoad(0.95)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper load invalid: %v", err)
+	}
+	cases := []LoadSpec{
+		{Rho: 0, Fractions: []float64{1}, Sizes: PaperSizes(), Alpha: 1.9},
+		{Rho: 2, Fractions: []float64{1}, Sizes: PaperSizes(), Alpha: 1.9},
+		{Rho: 0.9, Fractions: nil, Sizes: PaperSizes(), Alpha: 1.9},
+		{Rho: 0.9, Fractions: []float64{0.5, 0.6}, Sizes: PaperSizes(), Alpha: 1.9},
+		{Rho: 0.9, Fractions: []float64{-0.1, 1.1}, Sizes: PaperSizes(), Alpha: 1.9},
+		{Rho: 0.9, Fractions: []float64{1}, Sizes: nil, Alpha: 1.9},
+		{Rho: 0.9, Fractions: []float64{1}, Sizes: PaperSizes(), Alpha: 1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+	poisson := LoadSpec{Rho: 0.9, Fractions: []float64{1}, Sizes: PaperSizes(), Poisson: true}
+	if err := poisson.Validate(); err != nil {
+		t.Errorf("poisson spec rejected: %v", err)
+	}
+}
+
+func TestLoadSpecRates(t *testing.T) {
+	// rho=0.95 on the paper link (39.375 B/tu): aggregate packet rate is
+	// 0.95·39.375/441 per tu, i.e. one packet per 11.2/0.95 tu.
+	l := PaperLoad(0.95)
+	rates := l.Rates(441.0 / 11.2)
+	var agg float64
+	for _, r := range rates {
+		agg += r
+	}
+	wantAgg := 0.95 / 11.2
+	if math.Abs(agg-wantAgg)/wantAgg > 1e-9 {
+		t.Fatalf("aggregate rate = %g, want %g", agg, wantAgg)
+	}
+	if math.Abs(rates[0]/agg-0.40) > 1e-9 || math.Abs(rates[3]/agg-0.10) > 1e-9 {
+		t.Fatalf("class split wrong: %v", rates)
+	}
+}
+
+func TestSourcesRealizeUtilization(t *testing.T) {
+	// Generate traffic for a long horizon and check the offered byte
+	// rate matches rho·linkRate.
+	const linkRate = 441.0 / 11.2
+	const horizon = 400000.0
+	l := PaperLoad(0.80)
+	sources, err := l.Build(linkRate, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 4 {
+		t.Fatalf("built %d sources, want 4", len(sources))
+	}
+	engine := sim.NewEngine()
+	var bytes [4]int64
+	var pkts [4]int
+	StartAll(engine, sources, func(p *core.Packet) {
+		bytes[p.Class] += p.Size
+		pkts[p.Class]++
+	})
+	engine.RunUntil(horizon)
+	var total int64
+	for _, b := range bytes {
+		total += b
+	}
+	gotRho := float64(total) / horizon / linkRate
+	if math.Abs(gotRho-0.80) > 0.05 {
+		t.Fatalf("realized utilization %g, want 0.80±0.05", gotRho)
+	}
+	// Class split ~40/30/20/10 by packet count.
+	totalPkts := pkts[0] + pkts[1] + pkts[2] + pkts[3]
+	for i, want := range []float64{0.40, 0.30, 0.20, 0.10} {
+		got := float64(pkts[i]) / float64(totalPkts)
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("class %d packet fraction %g, want %g", i, got, want)
+		}
+	}
+	for i, s := range sources {
+		if s.Emitted() != uint64(pkts[i]) {
+			t.Fatalf("source %d Emitted=%d, sink saw %d", i, s.Emitted(), pkts[i])
+		}
+	}
+}
+
+func TestSourceIDsUniqueAndMonotonic(t *testing.T) {
+	l := PaperLoad(0.9)
+	sources, err := l.Build(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine()
+	seen := map[uint64]bool{}
+	lastArrival := -1.0
+	StartAll(engine, sources, func(p *core.Packet) {
+		if seen[p.ID] {
+			t.Fatalf("duplicate packet ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Arrival < lastArrival {
+			t.Fatal("arrivals out of order")
+		}
+		lastArrival = p.Arrival
+		if p.Birth != p.Arrival {
+			t.Fatal("Birth != Arrival at first hop")
+		}
+	})
+	engine.RunUntil(5000)
+	if len(seen) < 100 {
+		t.Fatalf("only %d packets generated", len(seen))
+	}
+}
+
+func TestSourceStartValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Source.Start without RNG did not panic")
+		}
+	}()
+	s := &Source{Class: 0, Inter: NewConstant(1), Sizes: NewFixedSize(100)}
+	s.Start(sim.NewEngine(), func(*core.Packet) {}, 0)
+}
+
+func TestZeroFractionClassSkipped(t *testing.T) {
+	l := LoadSpec{
+		Rho:       0.9,
+		Fractions: []float64{0.5, 0, 0.5},
+		Sizes:     PaperSizes(),
+		Alpha:     1.9,
+	}
+	sources, err := l.Build(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) != 2 {
+		t.Fatalf("built %d sources, want 2 (zero-fraction skipped)", len(sources))
+	}
+}
+
+func TestFlowScheduling(t *testing.T) {
+	engine := sim.NewEngine()
+	spec := FlowSpec{Class: 2, Packets: 10, Size: 500, Rate: 6.25} // gap = 80
+	var got []*core.Packet
+	if err := ScheduleFlow(engine, spec, 100, 9, func(p *core.Packet) {
+		got = append(got, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunAll()
+	if len(got) != 10 {
+		t.Fatalf("flow delivered %d packets, want 10", len(got))
+	}
+	if spec.Gap() != 80 {
+		t.Fatalf("Gap = %g, want 80", spec.Gap())
+	}
+	for i, p := range got {
+		wantT := 100 + float64(i)*80
+		if math.Abs(p.Arrival-wantT) > 1e-9 {
+			t.Fatalf("packet %d at %g, want %g", i, p.Arrival, wantT)
+		}
+		if p.Flow != 9 || p.Class != 2 || p.Size != 500 {
+			t.Fatalf("packet fields wrong: %+v", p)
+		}
+	}
+	// IDs are unique within the flow.
+	if got[0].ID == got[1].ID {
+		t.Fatal("flow packet IDs collide")
+	}
+}
+
+func TestFlowSpecValidation(t *testing.T) {
+	engine := sim.NewEngine()
+	bad := []FlowSpec{
+		{Packets: 0, Size: 500, Rate: 1},
+		{Packets: 5, Size: 0, Rate: 1},
+		{Packets: 5, Size: 500, Rate: 0},
+	}
+	for i, spec := range bad {
+		if err := ScheduleFlow(engine, spec, 0, 1, func(*core.Packet) {}); err == nil {
+			t.Errorf("case %d: invalid flow accepted", i)
+		}
+	}
+}

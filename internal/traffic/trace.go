@@ -1,0 +1,90 @@
+package traffic
+
+import (
+	"fmt"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+)
+
+// Arrival is one recorded packet arrival of a trace.
+type Arrival struct {
+	Class int
+	Size  int64
+	Time  float64
+}
+
+// Trace is a time-ordered arrival trace. Traces let the same random
+// workload be replayed through different schedulers (conservation-law
+// tests) and through FCFS sub-servers (the feasibility conditions of §3).
+type Trace struct {
+	Arrivals []Arrival
+	Classes  int
+	Horizon  float64
+}
+
+// Record generates the load for the given horizon and captures it as a
+// trace instead of feeding a link.
+func Record(load LoadSpec, linkRate, horizon float64, seed uint64) (*Trace, error) {
+	if err := load.Validate(); err != nil {
+		return nil, err
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("traffic: horizon %g must be > 0", horizon)
+	}
+	sources, err := load.Build(linkRate, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	tr := &Trace{Classes: len(load.Fractions), Horizon: horizon}
+	StartAll(engine, sources, func(p *core.Packet) {
+		tr.Arrivals = append(tr.Arrivals, Arrival{Class: p.Class, Size: p.Size, Time: p.Arrival})
+	})
+	engine.RunUntil(horizon)
+	return tr, nil
+}
+
+// Rates returns the per-class measured packet arrival rates
+// (packets per time unit).
+func (t *Trace) Rates() []float64 {
+	rates := make([]float64, t.Classes)
+	for _, a := range t.Arrivals {
+		rates[a.Class]++
+	}
+	for i := range rates {
+		rates[i] /= t.Horizon
+	}
+	return rates
+}
+
+// Filter returns the sub-trace containing only the classes for which
+// keep[class] is true.
+func (t *Trace) Filter(keep []bool) *Trace {
+	out := &Trace{Classes: t.Classes, Horizon: t.Horizon}
+	for _, a := range t.Arrivals {
+		if keep[a.Class] {
+			out.Arrivals = append(out.Arrivals, a)
+		}
+	}
+	return out
+}
+
+// Replay schedules the trace's arrivals on the engine, delivering each as
+// a fresh packet to sink.
+func (t *Trace) Replay(engine *sim.Engine, sink Sink) {
+	var id uint64
+	for _, a := range t.Arrivals {
+		a := a
+		engine.At(a.Time, func() {
+			id++
+			sink(&core.Packet{
+				ID:      id,
+				Class:   a.Class,
+				Size:    a.Size,
+				Arrival: a.Time,
+				Birth:   a.Time,
+			})
+		})
+	}
+}

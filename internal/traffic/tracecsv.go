@@ -1,0 +1,79 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the trace as CSV (`class,size,time` rows after a
+// header comment). Traces saved this way can be replayed later for exact
+// cross-scheduler comparisons or shared as experiment artifacts.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pdds trace classes=%d horizon=%g\n", t.Classes, t.Horizon); err != nil {
+		return err
+	}
+	for _, a := range t.Arrivals {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", a.Class, a.Size,
+			strconv.FormatFloat(a.Time, 'g', 17, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceCSV parses a trace written by WriteCSV, validating class range
+// and time ordering.
+func ReadTraceCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("traffic: empty trace file")
+	}
+	header := sc.Text()
+	tr := &Trace{}
+	if n, err := fmt.Sscanf(header, "# pdds trace classes=%d horizon=%g", &tr.Classes, &tr.Horizon); err != nil || n != 2 {
+		return nil, fmt.Errorf("traffic: bad trace header %q", header)
+	}
+	if tr.Classes < 1 || !(tr.Horizon > 0) {
+		return nil, fmt.Errorf("traffic: invalid header values in %q", header)
+	}
+	line := 1
+	var prev float64
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("traffic: line %d: want class,size,time", line)
+		}
+		class, err := strconv.Atoi(parts[0])
+		if err != nil || class < 0 || class >= tr.Classes {
+			return nil, fmt.Errorf("traffic: line %d: bad class %q", line, parts[0])
+		}
+		size, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("traffic: line %d: bad size %q", line, parts[1])
+		}
+		tm, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || tm < 0 || math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return nil, fmt.Errorf("traffic: line %d: bad time %q", line, parts[2])
+		}
+		if tm < prev {
+			return nil, fmt.Errorf("traffic: line %d: time %g before previous %g", line, tm, prev)
+		}
+		prev = tm
+		tr.Arrivals = append(tr.Arrivals, Arrival{Class: class, Size: size, Time: tm})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/sim"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr, err := Record(PaperLoad(0.9), 441.0/11.2, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Classes != tr.Classes || back.Horizon != tr.Horizon {
+		t.Fatalf("header mismatch: %d/%g vs %d/%g", back.Classes, back.Horizon, tr.Classes, tr.Horizon)
+	}
+	if len(back.Arrivals) != len(tr.Arrivals) {
+		t.Fatalf("arrivals = %d, want %d", len(back.Arrivals), len(tr.Arrivals))
+	}
+	for i := range tr.Arrivals {
+		if back.Arrivals[i] != tr.Arrivals[i] {
+			t.Fatalf("arrival %d mismatch: %+v vs %+v", i, back.Arrivals[i], tr.Arrivals[i])
+		}
+	}
+}
+
+func TestTraceCSVRoundTripReplaysIdentically(t *testing.T) {
+	tr, err := Record(PaperLoad(0.95), 441.0/11.2, 10000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaySum := func(tr *Trace) (sum float64, n int) {
+		engine := sim.NewEngine()
+		tr.Replay(engine, func(p *core.Packet) {
+			sum += float64(p.Size) * p.Arrival
+			n++
+		})
+		engine.RunAll()
+		return sum, n
+	}
+	s1, n1 := replaySum(tr)
+	s2, n2 := replaySum(back)
+	if s1 != s2 || n1 != n2 {
+		t.Fatalf("replay differs after round trip: %g/%d vs %g/%d", s1, n1, s2, n2)
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage header\n",
+		"# pdds trace classes=0 horizon=10\n",
+		"# pdds trace classes=2 horizon=10\n1,2\n",
+		"# pdds trace classes=2 horizon=10\n7,100,1\n",
+		"# pdds trace classes=2 horizon=10\n0,-5,1\n",
+		"# pdds trace classes=2 horizon=10\n0,100,xyz\n",
+		"# pdds trace classes=2 horizon=10\n0,100,5\n0,100,3\n", // out of order
+	}
+	for i, c := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestReadTraceCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# pdds trace classes=2 horizon=10\n\n# comment\n0,100,1\n1,200,2\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) != 2 || tr.Arrivals[1].Class != 1 {
+		t.Fatalf("parsed %+v", tr.Arrivals)
+	}
+}
