@@ -2,19 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench cover experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-short race bench cover experiments experiments-quick fuzz clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
-	gofmt -l . && test -z "$$(gofmt -l .)"
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt: unformatted files:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...

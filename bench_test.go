@@ -16,6 +16,7 @@ import (
 	"pdds/internal/experiments"
 	"pdds/internal/link"
 	"pdds/internal/model"
+	"pdds/internal/telemetry"
 	"pdds/internal/traffic"
 )
 
@@ -188,6 +189,44 @@ func BenchmarkSingleLink(b *testing.B) {
 					Warmup:  5e3,
 					Seed:    uint64(i + 1),
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Departed == 0 {
+					b.Fatal("no packets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead compares the single-link hot path with and
+// without a telemetry registry attached: identical seeded runs, so the
+// "on"/"off" delta is purely the instrumentation cost (per-packet counter
+// updates and histogram records; the registry itself is one allocation
+// per run, not per packet).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	base := link.RunConfig{
+		Kind:    core.KindWTP,
+		SDP:     []float64{1, 2, 4, 8},
+		Load:    traffic.PaperLoad(0.95),
+		Horizon: 5e4,
+		Warmup:  5e3,
+	}
+	for _, mode := range []string{"off", "on"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var reg *telemetry.Registry
+			if mode == "on" {
+				reg = telemetry.NewWithSDP(base.SDP)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Seed = uint64(i + 1)
+				cfg.Telemetry = reg
+				res, err := link.Run(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,8 @@
 // Command pdexp regenerates the paper's tables and figures. Each
 // experiment prints a TSV table to stdout (or to a file per experiment
-// with -out).
+// with -out). With -out, a machine-readable run report (report.json) is
+// written alongside the TSVs: which experiments ran, at what scale, their
+// output files and wall-clock durations.
 //
 // Examples:
 //
@@ -10,12 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +27,23 @@ import (
 	"pdds/internal/experiments"
 	"pdds/internal/textplot"
 )
+
+// runReport is the machine-readable summary written as report.json next
+// to the TSVs when -out is used.
+type runReport struct {
+	Tool        string           `json:"tool"`
+	GoVersion   string           `json:"go_version"`
+	Scale       string           `json:"scale"`
+	StartedAt   time.Time        `json:"started_at"`
+	DurationSec float64          `json:"duration_sec"`
+	Experiments []experimentStat `json:"experiments"`
+}
+
+type experimentStat struct {
+	Name        string  `json:"name"`
+	File        string  `json:"file,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+}
 
 var allExperiments = []string{
 	"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
@@ -57,6 +78,12 @@ func main() {
 	if *expList == "all" {
 		names = allExperiments
 	}
+	report := runReport{
+		Tool:      "pdexp",
+		GoVersion: runtime.Version(),
+		Scale:     *scaleStr,
+		StartedAt: time.Now(),
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
@@ -90,8 +117,34 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		stat := experimentStat{Name: name, DurationSec: time.Since(start).Seconds()}
+		if file != nil {
+			stat.File = filepath.Base(file.Name())
+		}
+		report.Experiments = append(report.Experiments, stat)
 		fmt.Fprintf(os.Stderr, "pdexp: %s done in %s\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if *outDir != "" {
+		report.DurationSec = time.Since(report.StartedAt).Seconds()
+		if err := writeReport(filepath.Join(*outDir, "report.json"), report); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeReport writes the run report as indented JSON.
+func writeReport(path string, report runReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(name string, scale experiments.Scale, out io.Writer) error {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -39,6 +42,32 @@ func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run("nope", tiny, &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWriteReportRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	in := runReport{
+		Tool:  "pdexp",
+		Scale: "quick",
+		Experiments: []experimentStat{
+			{Name: "fig1a", File: "fig1a.tsv", DurationSec: 1.5},
+			{Name: "table1", File: "table1.tsv", DurationSec: 30},
+		},
+	}
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out runReport
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Scale != "quick" || len(out.Experiments) != 2 || out.Experiments[1].Name != "table1" {
+		t.Fatalf("report round-trip: %+v", out)
 	}
 }
 

@@ -6,9 +6,16 @@
 // send timestamp); see the examples/forwarder program for a matching
 // traffic generator and delay probe.
 //
+// With -metrics-addr set, live per-class metrics (counters, delay
+// histogram quantiles, adjacent-class delay ratios vs the configured
+// SDPs) are served over HTTP at /metrics (JSON), /metrics?format=text
+// (human view) and /debug/pprof/ (profiling), and a per-class summary
+// line is printed at every stats interval.
+//
 // Example:
 //
-//	pdfwd -listen 127.0.0.1:7000 -forward 127.0.0.1:7001 -rate 1000000
+//	pdfwd -listen 127.0.0.1:7000 -forward 127.0.0.1:7001 -rate 1000000 \
+//	      -metrics-addr 127.0.0.1:8080
 package main
 
 import (
@@ -17,52 +24,100 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"pdds"
 	"pdds/internal/cliutil"
 )
 
+// options are pdfwd's parsed command-line settings.
+type options struct {
+	cfg      pdds.ForwarderConfig
+	interval time.Duration
+}
+
+// parseArgs parses pdfwd's flags (without the program name) into options.
+func parseArgs(args []string) (options, error) {
+	fs := flag.NewFlagSet("pdfwd", flag.ContinueOnError)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:7000", "UDP ingress address")
+		forward     = fs.String("forward", "127.0.0.1:7001", "UDP egress destination")
+		rate        = fs.Float64("rate", 1e6, "egress rate, bits per second")
+		sched       = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
+		sdpStr      = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
+		stats       = fs.Duration("stats", 5*time.Second, "stats print interval")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address (empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	sdp, err := cliutil.ParseFloats(*sdpStr)
+	if err != nil {
+		return options{}, fmt.Errorf("-sdp: %v", err)
+	}
+	return options{
+		cfg: pdds.ForwarderConfig{
+			Listen:      *listen,
+			Forward:     *forward,
+			Scheduler:   pdds.SchedulerKind(*sched),
+			SDP:         sdp,
+			RateBps:     *rate,
+			MetricsAddr: *metricsAddr,
+		},
+		interval: *stats,
+	}, nil
+}
+
+// summarize renders the periodic one-line status: aggregate counters plus
+// per-class departures/backlog/p99 and the live adjacent-class delay
+// ratios from the telemetry registry.
+func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d",
+		s.Received, s.Forwarded, s.Dropped, s.BadHeader)
+	for _, c := range classes {
+		fmt.Fprintf(&b, " c%d=%d/%dq/%.1fms", c.Class, c.Departures, c.Backlog, c.DelayP99*1e3)
+	}
+	if len(ratios) > 0 {
+		parts := make([]string, len(ratios))
+		for i, r := range ratios {
+			parts[i] = fmt.Sprintf("%.2f", r)
+		}
+		fmt.Fprintf(&b, " ratios=%s", strings.Join(parts, ","))
+	}
+	return b.String()
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdfwd: ")
 
-	var (
-		listen  = flag.String("listen", "127.0.0.1:7000", "UDP ingress address")
-		forward = flag.String("forward", "127.0.0.1:7001", "UDP egress destination")
-		rate    = flag.Float64("rate", 1e6, "egress rate, bits per second")
-		sched   = flag.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
-		sdpStr  = flag.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
-		stats   = flag.Duration("stats", 5*time.Second, "stats print interval")
-	)
-	flag.Parse()
-
-	sdp, err := cliutil.ParseFloats(*sdpStr)
+	opts, err := parseArgs(os.Args[1:])
 	if err != nil {
-		log.Fatalf("-sdp: %v", err)
+		log.Fatal(err)
 	}
-	fwd, err := pdds.StartForwarder(*listen, *forward, pdds.SchedulerKind(*sched), sdp, *rate)
+	fwd, err := pdds.StartForwarderWithConfig(opts.cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer fwd.Close()
 	log.Printf("forwarding %s -> %s at %.0f bps with %s (SDP %v)",
-		fwd.Addr(), *forward, *rate, *sched, sdp)
+		fwd.Addr(), opts.cfg.Forward, opts.cfg.RateBps, opts.cfg.Scheduler, opts.cfg.SDP)
+	if addr := fwd.MetricsAddr(); addr != nil {
+		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	ticker := time.NewTicker(*stats)
+	ticker := time.NewTicker(opts.interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			s := fwd.Stats()
-			fmt.Printf("received=%d forwarded=%d dropped=%d bad-header=%d\n",
-				s.Received, s.Forwarded, s.Dropped, s.BadHeader)
+			fmt.Fprintln(os.Stderr, summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios()))
 		case <-sig:
-			s := fwd.Stats()
-			log.Printf("shutting down: received=%d forwarded=%d dropped=%d bad-header=%d",
-				s.Received, s.Forwarded, s.Dropped, s.BadHeader)
+			log.Printf("shutting down: %s", summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios()))
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"pdds/internal/core"
 	"pdds/internal/netio"
+	"pdds/internal/telemetry"
 )
 
 // Forwarder is a live single-hop class-based UDP forwarding element: the
@@ -24,16 +25,57 @@ type ForwarderStats struct {
 	BadHeader uint64
 }
 
+// ForwarderConfig configures StartForwarderWithConfig.
+type ForwarderConfig struct {
+	// Listen is the UDP ingress address (e.g. "127.0.0.1:0"); Forward
+	// is where scheduled datagrams are sent.
+	Listen, Forward string
+	// Scheduler and SDP configure the discipline (defaults: WTP with
+	// SDPs 1,2,4,8).
+	Scheduler SchedulerKind
+	SDP       []float64
+	// RateBps is the egress rate in bits per second.
+	RateBps float64
+	// MaxPackets bounds the aggregate queue (0 = 4096).
+	MaxPackets int
+	// MetricsAddr, if non-empty, serves live per-class metrics over
+	// HTTP on this address: /metrics (expvar-style JSON),
+	// /metrics?format=text (human view) and /debug/pprof/. Use
+	// "127.0.0.1:0" to pick a free port (see MetricsAddr).
+	MetricsAddr string
+}
+
 // StartForwarder binds listen (e.g. "127.0.0.1:0"), forwarding scheduled
 // datagrams to forward at rateBps. kind and sdp configure the discipline
 // (pass WTP and nil for the paper defaults).
 func StartForwarder(listen, forward string, kind SchedulerKind, sdp []float64, rateBps float64) (*Forwarder, error) {
-	inner, err := netio.Listen(netio.Config{
+	return StartForwarderWithConfig(ForwarderConfig{
 		Listen:    listen,
 		Forward:   forward,
-		Scheduler: core.Kind(kind),
+		Scheduler: kind,
 		SDP:       sdp,
 		RateBps:   rateBps,
+	})
+}
+
+// StartForwarderWithConfig starts a forwarder with full configuration,
+// including live observability. The forwarder is always instrumented: per-
+// class counters and delay histograms are available via ClassStats and
+// DelayRatios even when no metrics address is configured.
+func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
+	sdp := cfg.SDP
+	if len(sdp) == 0 {
+		sdp = []float64{1, 2, 4, 8}
+	}
+	inner, err := netio.Listen(netio.Config{
+		Listen:      cfg.Listen,
+		Forward:     cfg.Forward,
+		Scheduler:   core.Kind(cfg.Scheduler),
+		SDP:         sdp,
+		RateBps:     cfg.RateBps,
+		MaxPackets:  cfg.MaxPackets,
+		MetricsAddr: cfg.MetricsAddr,
+		Telemetry:   telemetry.NewWithSDP(sdp),
 	})
 	if err != nil {
 		return nil, err
@@ -52,6 +94,66 @@ func (f *Forwarder) Stats() ForwarderStats {
 
 // Close shuts the forwarder down.
 func (f *Forwarder) Close() error { return f.inner.Close() }
+
+// MetricsAddr returns the bound metrics HTTP address, or nil when
+// observability over HTTP was not configured.
+func (f *Forwarder) MetricsAddr() net.Addr { return f.inner.MetricsAddr() }
+
+// LiveClassStats is a live snapshot of one class's metrics from a running
+// forwarder or an instrumented simulation. Delays are one-hop queueing
+// delays — seconds for the forwarder, simulation time units for
+// simulations.
+type LiveClassStats struct {
+	Class                   int
+	Arrivals, Departures    uint64
+	Drops                   uint64
+	Backlog                 uint64
+	DelayMean, DelayP50     float64
+	DelayP95, DelayP99      float64
+	DelayMax                float64
+	ArrivedBytes, SentBytes uint64
+}
+
+// ClassStats returns a live per-class snapshot (index 0 = lowest class),
+// or nil if the forwarder was started uninstrumented via internal
+// configuration.
+func (f *Forwarder) ClassStats() []LiveClassStats {
+	reg := f.inner.Telemetry()
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	out := make([]LiveClassStats, len(snap.Classes))
+	for i, c := range snap.Classes {
+		out[i] = LiveClassStats{
+			Class:        c.Class,
+			Arrivals:     c.Arrivals,
+			Departures:   c.Departures,
+			Drops:        c.Drops,
+			Backlog:      c.Backlog(),
+			DelayMean:    c.Delay.Mean(),
+			DelayP50:     c.Delay.Quantile(0.50),
+			DelayP95:     c.Delay.Quantile(0.95),
+			DelayP99:     c.Delay.Quantile(0.99),
+			DelayMax:     c.Delay.Max,
+			ArrivedBytes: c.ArrivedBytes,
+			SentBytes:    c.DepartedBytes,
+		}
+	}
+	return out
+}
+
+// DelayRatios returns the observed adjacent-class mean-delay ratios
+// (class i over class i+1) — the live form of the quantity the
+// proportional model pins to SDP[i+1]/SDP[i]. Entries are 0 until both
+// classes have forwarded traffic.
+func (f *Forwarder) DelayRatios() []float64 {
+	reg := f.inner.Telemetry()
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot().Ratios
+}
 
 // EncodeDatagram builds a forwarder datagram: class selects the service
 // class (0-based), seq and the current time are embedded so receivers can

@@ -52,13 +52,18 @@ func Table1(scale Scale) ([]Table1Cell, error) {
 		res *network.Result
 		err error
 	}
+	// Populate the map fully before any worker starts: goroutines read
+	// runs[key] concurrently, and a map being assigned to is not safe to
+	// read (caught by `make race`).
 	runs := make(map[cellKey][]runOut)
-	var mu sync.Mutex
+	for ri := range Table1Rows {
+		for ci := range Table1Cols {
+			runs[cellKey{ri, ci}] = make([]runOut, scale.StudyBSeeds)
+		}
+	}
 	var wg sync.WaitGroup
 	for ri, row := range Table1Rows {
 		for ci, col := range Table1Cols {
-			key := cellKey{ri, ci}
-			runs[key] = make([]runOut, scale.StudyBSeeds)
 			for s := 0; s < scale.StudyBSeeds; s++ {
 				ri, ci, s := ri, ci, s
 				row, col := row, col
@@ -75,9 +80,9 @@ func Table1(scale Scale) ([]Table1Cell, error) {
 						WarmupSec:   scale.StudyBWarmup,
 						Seed:        BaseSeed + uint64(s),
 					})
-					mu.Lock()
+					// Each (cell, seed) writes its own slice element;
+					// wg.Wait orders them before the reduction below.
 					runs[cellKey{ri, ci}][s] = runOut{res, err}
-					mu.Unlock()
 				}()
 			}
 		}

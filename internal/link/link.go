@@ -8,6 +8,7 @@ import (
 
 	"pdds/internal/core"
 	"pdds/internal/sim"
+	"pdds/internal/telemetry"
 )
 
 // Link is a work-conserving output link: arriving packets enter the
@@ -33,6 +34,12 @@ type Link struct {
 	Dropper core.DropPolicy
 	// OnDrop, if set, observes dropped packets.
 	OnDrop func(*core.Packet)
+
+	// Telemetry, if set, receives per-class arrival/departure/drop
+	// counts and queueing-delay samples for every packet (live
+	// observability; see internal/telemetry). Each event costs one
+	// branch when unset.
+	Telemetry *telemetry.Registry
 
 	busy      bool
 	busySince float64
@@ -96,6 +103,9 @@ func (l *Link) Busy() bool { return l.busy }
 func (l *Link) Arrive(p *core.Packet) {
 	now := l.engine.Now()
 	p.Arrival = now
+	if l.Telemetry != nil {
+		l.Telemetry.Arrival(p.Class, p.Size, now)
+	}
 	if l.Dropper != nil {
 		l.Dropper.RecordArrival(p.Class)
 	}
@@ -134,6 +144,9 @@ func (l *Link) drop(p *core.Packet) {
 		l.Dropper.RecordLoss(victim.Class)
 	}
 	l.dropped++
+	if l.Telemetry != nil {
+		l.Telemetry.Drop(victim.Class, l.engine.Now())
+	}
 	if l.OnDrop != nil {
 		l.OnDrop(victim)
 	}
@@ -164,6 +177,9 @@ func (l *Link) finish(p *core.Packet) {
 	l.txBytes += p.Size
 	l.busyTime += now - l.busySince
 	l.busy = false
+	if l.Telemetry != nil {
+		l.Telemetry.Departure(p.Class, p.Size, now, p.Wait())
+	}
 	if l.OnDepart != nil {
 		l.OnDepart(p)
 	}

@@ -6,6 +6,7 @@ import (
 	"pdds/internal/core"
 	"pdds/internal/sim"
 	"pdds/internal/stats"
+	"pdds/internal/telemetry"
 	"pdds/internal/traffic"
 )
 
@@ -46,6 +47,9 @@ type RunConfig struct {
 	// results are bit-identical; the calendar is faster for large
 	// pending-event sets.
 	CalendarQueue bool
+	// Telemetry, if set, is attached to the link for live per-class
+	// observability (counters, delay histograms, streaming ratios).
+	Telemetry *telemetry.Registry
 }
 
 func (c *RunConfig) withDefaults() RunConfig {
@@ -129,6 +133,7 @@ func runWith(sched core.Scheduler, cfg RunConfig) (*Result, error) {
 	l := New(engine, cfg.LinkRate, sched)
 	l.MaxPackets = cfg.MaxPackets
 	l.Dropper = cfg.Dropper
+	l.Telemetry = cfg.Telemetry
 
 	delays := stats.NewClassDelays(len(cfg.SDP))
 	l.OnDepart = func(p *core.Packet) {

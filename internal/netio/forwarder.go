@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pdds/internal/core"
+	"pdds/internal/telemetry"
 )
 
 // Config describes a Forwarder.
@@ -26,6 +27,15 @@ type Config struct {
 	// MaxPackets bounds the aggregate queue; arriving datagrams beyond
 	// it are dropped (0 = 4096).
 	MaxPackets int
+	// Telemetry, if set, receives per-class counters and queueing-delay
+	// histograms for every datagram (delays in seconds). Leave nil to
+	// run uninstrumented; MetricsAddr implies a registry.
+	Telemetry *telemetry.Registry
+	// MetricsAddr, if non-empty, serves the telemetry registry over
+	// HTTP on this address ("127.0.0.1:0" picks a free port): /metrics
+	// JSON, /metrics?format=text, and /debug/pprof/. A registry is
+	// created automatically when Telemetry is nil.
+	MetricsAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -52,11 +62,13 @@ type Stats struct {
 
 // Forwarder is a single-hop class-based forwarding element over UDP.
 type Forwarder struct {
-	cfg   Config
-	in    *net.UDPConn
-	dst   *net.UDPAddr
-	rate  float64 // bytes per second
-	epoch time.Time
+	cfg     Config
+	in      *net.UDPConn
+	dst     *net.UDPAddr
+	rate    float64 // bytes per second
+	epoch   time.Time
+	telem   *telemetry.Registry
+	metrics *telemetry.Server
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -100,6 +112,18 @@ func Listen(cfg Config) (*Forwarder, error) {
 		rate:  rate,
 		epoch: time.Now(),
 		sched: sched,
+		telem: cfg.Telemetry,
+	}
+	if f.telem == nil && cfg.MetricsAddr != "" {
+		f.telem = telemetry.NewWithSDP(cfg.SDP)
+	}
+	if cfg.MetricsAddr != "" {
+		srv, err := telemetry.Serve(cfg.MetricsAddr, f.telem)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		f.metrics = srv
 	}
 	f.cond = sync.NewCond(&f.mu)
 	f.wg.Add(2)
@@ -110,6 +134,18 @@ func Listen(cfg Config) (*Forwarder, error) {
 
 // LocalAddr returns the bound ingress address.
 func (f *Forwarder) LocalAddr() net.Addr { return f.in.LocalAddr() }
+
+// Telemetry returns the attached registry (nil when uninstrumented).
+func (f *Forwarder) Telemetry() *telemetry.Registry { return f.telem }
+
+// MetricsAddr returns the bound metrics HTTP address, or nil when
+// Config.MetricsAddr was empty.
+func (f *Forwarder) MetricsAddr() net.Addr {
+	if f.metrics == nil {
+		return nil
+	}
+	return f.metrics.Addr()
+}
 
 // Stats returns a snapshot of the counters.
 func (f *Forwarder) Stats() Stats {
@@ -131,6 +167,9 @@ func (f *Forwarder) Close() error {
 	f.mu.Unlock()
 	err := f.in.Close()
 	f.wg.Wait()
+	if f.metrics != nil {
+		f.metrics.Close()
+	}
 	return err
 }
 
@@ -167,19 +206,26 @@ func (f *Forwarder) receiveLoop() {
 		if f.queued >= f.cfg.MaxPackets {
 			f.stats.Dropped++
 			f.mu.Unlock()
+			if f.telem != nil {
+				f.telem.Drop(int(hdr.Class), f.now())
+			}
 			continue
 		}
 		seq++
+		now := f.now()
 		f.sched.Enqueue(&core.Packet{
 			ID:      seq,
 			Class:   int(hdr.Class),
 			Size:    int64(n),
-			Arrival: f.now(),
+			Arrival: now,
 			Payload: datagram,
-		}, f.now())
+		}, now)
 		f.queued++
 		f.cond.Signal()
 		f.mu.Unlock()
+		if f.telem != nil {
+			f.telem.Arrival(int(hdr.Class), int64(n), now)
+		}
 	}
 }
 
@@ -204,13 +250,19 @@ func (f *Forwarder) transmitLoop() {
 			f.mu.Unlock()
 			return
 		}
-		p := f.sched.Dequeue(f.now())
+		depart := f.now()
+		p := f.sched.Dequeue(depart)
 		if p == nil { // defensive: queued said otherwise
 			f.mu.Unlock()
 			continue
 		}
 		f.queued--
 		f.mu.Unlock()
+		if f.telem != nil {
+			// Queueing delay in seconds: scheduler pick time minus
+			// socket arrival time (the paper's per-hop metric).
+			f.telem.Departure(p.Class, p.Size, depart, depart-p.Arrival)
+		}
 
 		if _, err := out.Write(p.Payload); err == nil {
 			f.mu.Lock()

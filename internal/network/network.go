@@ -13,6 +13,7 @@ import (
 	"pdds/internal/link"
 	"pdds/internal/sim"
 	"pdds/internal/stats"
+	"pdds/internal/telemetry"
 	"pdds/internal/traffic"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	Alpha float64
 	// Seed drives all randomness.
 	Seed uint64
+	// Telemetry, if set, is attached to every hop's link: it aggregates
+	// arrivals, departures, drops and queueing delays per class across
+	// the whole path (live observability; see internal/telemetry).
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +182,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		links[h] = link.New(engine, linkBytesPerSec, sched)
+		links[h].Telemetry = cfg.Telemetry
 	}
 	hopDelays := make([]*stats.ClassDelays, cfg.Hops)
 	for h := range hopDelays {

@@ -1,0 +1,51 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkRecord measures the raw per-packet cost of the record path
+// (arrival + departure with delay histogram update).
+func BenchmarkRecord(b *testing.B) {
+	r := NewWithSDP([]float64{1, 2, 4, 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		class := i & 3
+		d := float64(i&1023) + 0.5
+		r.Arrival(class, 500, d)
+		r.Departure(class, 500, d+1, d)
+	}
+}
+
+// BenchmarkRecordParallel measures contention across recording goroutines
+// (the forwarder's receive and transmit loops record concurrently).
+func BenchmarkRecordParallel(b *testing.B) {
+	r := NewWithSDP([]float64{1, 2, 4, 8})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			class := i & 3
+			d := float64(i&1023) + 0.5
+			r.Arrival(class, 500, d)
+			r.Departure(class, 500, d+1, d)
+		}
+	})
+}
+
+// BenchmarkSnapshot measures the cost of the sampling side (one full
+// 4-class snapshot with ratio computation).
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewWithSDP([]float64{1, 2, 4, 8})
+	for i := 0; i < 100000; i++ {
+		class := i & 3
+		r.Departure(class, 500, float64(i), float64(i&255)+0.5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Snapshot()
+		if len(s.Ratios) != 3 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"pdds/internal/stats"
+	"pdds/internal/traffic"
+)
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every in-range value must land in a bucket whose midpoint is
+	// within RelError of it.
+	for _, v := range []float64{1e-9, 1e-6, 0.001, 0.5, 0.9999, 1, 1.0001, 11.2, 441, 1e6, 1e9} {
+		i := bucketIndex(v)
+		mid := bucketMid(i)
+		if rel := math.Abs(mid-v) / v; rel > RelError {
+			t.Errorf("value %g → bucket %d mid %g: relative error %.4f > %.4f", v, i, mid, rel, RelError)
+		}
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), math.Ldexp(1, histMinExp-5)} {
+		if i := bucketIndex(v); i != 0 {
+			t.Errorf("bucketIndex(%g) = %d, want 0", v, i)
+		}
+	}
+	if i := bucketIndex(math.Ldexp(1, histMaxExp+5)); i != histBuckets-1 {
+		t.Errorf("huge value → bucket %d, want %d", i, histBuckets-1)
+	}
+	// Index monotonicity across octave boundaries.
+	prev := -1
+	for v := 1e-6; v < 1e6; v *= 1.01 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %g: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestHistogramQuantilesVsExact is the documented-accuracy property test:
+// recorded quantiles from the log-linear histogram must agree with
+// internal/stats exact quantiles within RelError, across heavy-tailed
+// (Pareto), memoryless (exponential) and degenerate (constant)
+// distributions.
+func TestHistogramQuantilesVsExact(t *testing.T) {
+	const n = 50000
+	quantiles := []float64{0.10, 0.50, 0.90, 0.95, 0.99, 1.0}
+	dists := []struct {
+		name string
+		next func(i int) float64
+	}{
+		{"pareto", func(int) float64 { return 0 }},      // filled below
+		{"exponential", func(int) float64 { return 0 }}, // filled below
+		{"constant", func(int) float64 { return 11.2 }},
+	}
+	rng := traffic.NewRNG(42, 7)
+	pareto := traffic.NewPareto(1.9, 11.2)
+	dists[0].next = func(int) float64 { return pareto.Next(rng) }
+	exp := traffic.NewExponential(11.2)
+	dists[1].next = func(int) float64 { return exp.Next(rng) }
+
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			var h Histogram
+			var exact stats.Sample
+			for i := 0; i < n; i++ {
+				v := d.next(i)
+				h.Record(v)
+				exact.Add(v)
+			}
+			snap := h.Snapshot()
+			if snap.Count != n {
+				t.Fatalf("count = %d, want %d", snap.Count, n)
+			}
+			if m, em := snap.Mean(), exact.Mean(); math.Abs(m-em) > 1e-9*math.Max(1, em) {
+				t.Errorf("mean %g, exact %g", m, em)
+			}
+			for _, q := range quantiles {
+				got := snap.Quantile(q)
+				want := exact.Quantile(q)
+				if want == 0 {
+					continue
+				}
+				// RelError covers bucket quantization; allow a hair
+				// more for the exact quantile's interpolation
+				// between order statistics.
+				if rel := math.Abs(got-want) / want; rel > RelError+0.005 {
+					t.Errorf("q%.2f: histogram %g, exact %g (relative error %.4f > %.4f)",
+						q, got, want, rel, RelError+0.005)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramMergeAndSub(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(float64(i))
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa.Merge(sb)
+	if merged.Count != 200 {
+		t.Fatalf("merged count %d", merged.Count)
+	}
+	if med := merged.Quantile(0.5); math.Abs(med-100)/100 > RelError+0.01 {
+		t.Errorf("merged median %g, want ≈100", med)
+	}
+	if merged.Max != 200 {
+		t.Errorf("merged max %g", merged.Max)
+	}
+
+	// Sub recovers b's window from the cumulative view.
+	back := merged.Sub(sa)
+	if back.Count != 100 {
+		t.Fatalf("sub count %d", back.Count)
+	}
+	if med := back.Quantile(0.5); math.Abs(med-150)/150 > RelError+0.01 {
+		t.Errorf("windowed median %g, want ≈150", med)
+	}
+
+	// Subtracting from an empty snapshot stays sane.
+	empty := HistSnapshot{}
+	if got := empty.Sub(sa); got.Count != 0 {
+		t.Errorf("empty sub count %d", got.Count)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile %g", q)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// metricsJSON is the wire shape of GET /metrics: expvar-style flat JSON,
+// stable field names, derived quantiles instead of raw buckets.
+type metricsJSON struct {
+	UptimeSec    float64            `json:"uptime_sec"`
+	Classes      []classMetricsJSON `json:"classes"`
+	Ratios       []float64          `json:"delay_ratios"`
+	TargetRatios []float64          `json:"target_ratios,omitempty"`
+	MaxDeviation float64            `json:"max_ratio_deviation"`
+}
+
+type classMetricsJSON struct {
+	Class         int     `json:"class"`
+	Arrivals      uint64  `json:"arrivals"`
+	Departures    uint64  `json:"departures"`
+	Drops         uint64  `json:"drops"`
+	Backlog       uint64  `json:"backlog"`
+	ArrivedBytes  uint64  `json:"arrived_bytes"`
+	DepartedBytes uint64  `json:"departed_bytes"`
+	DelayMean     float64 `json:"delay_mean"`
+	DelayP50      float64 `json:"delay_p50"`
+	DelayP95      float64 `json:"delay_p95"`
+	DelayP99      float64 `json:"delay_p99"`
+	DelayMax      float64 `json:"delay_max"`
+}
+
+func snapshotJSON(s Snapshot) metricsJSON {
+	out := metricsJSON{
+		UptimeSec:    s.Uptime.Seconds(),
+		Ratios:       s.Ratios,
+		TargetRatios: s.TargetRatios,
+	}
+	out.MaxDeviation, _ = s.MaxDeviation()
+	for _, c := range s.Classes {
+		out.Classes = append(out.Classes, classMetricsJSON{
+			Class:         c.Class,
+			Arrivals:      c.Arrivals,
+			Departures:    c.Departures,
+			Drops:         c.Drops,
+			Backlog:       c.Backlog(),
+			ArrivedBytes:  c.ArrivedBytes,
+			DepartedBytes: c.DepartedBytes,
+			DelayMean:     c.Delay.Mean(),
+			DelayP50:      c.Delay.Quantile(0.50),
+			DelayP95:      c.Delay.Quantile(0.95),
+			DelayP99:      c.Delay.Quantile(0.99),
+			DelayMax:      c.Delay.Max,
+		})
+	}
+	return out
+}
+
+// Text renders a snapshot as the human-readable metrics view.
+func Text(s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime %.1fs\n", s.Uptime.Seconds())
+	fmt.Fprintf(&b, "%-5s %10s %10s %8s %8s %12s %12s %12s %12s\n",
+		"class", "arrivals", "departs", "drops", "backlog", "mean", "p50", "p95", "p99")
+	for _, c := range s.Classes {
+		fmt.Fprintf(&b, "%-5d %10d %10d %8d %8d %12.6g %12.6g %12.6g %12.6g\n",
+			c.Class, c.Arrivals, c.Departures, c.Drops, c.Backlog(),
+			c.Delay.Mean(), c.Delay.Quantile(0.50), c.Delay.Quantile(0.95), c.Delay.Quantile(0.99))
+	}
+	for i, ratio := range s.Ratios {
+		target := 0.0
+		if i < len(s.TargetRatios) {
+			target = s.TargetRatios[i]
+		}
+		fmt.Fprintf(&b, "ratio %d/%d: observed %.3f target %.3f\n", i, i+1, ratio, target)
+	}
+	if dev, pairs := s.MaxDeviation(); pairs > 0 {
+		fmt.Fprintf(&b, "max ratio deviation: %.1f%% over %d pairs\n", dev*100, pairs)
+	}
+	return b.String()
+}
+
+// Handler serves reg over HTTP:
+//
+//	/metrics              expvar-style JSON snapshot
+//	/metrics?format=text  human-readable table
+//	/debug/pprof/...      net/http/pprof profiles
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		s := reg.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, Text(s))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snapshotJSON(s))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for reg on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listen: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler periodically snapshots a registry and hands the callback both
+// the cumulative view and the interval view since the previous tick — the
+// streaming form of the paper's timescale-τ ratio analysis, with τ equal
+// to the sampling interval.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartSampler samples reg every interval until Stop is called. fn
+// receives (interval view, cumulative view) and runs on the sampler's
+// goroutine.
+func StartSampler(reg *Registry, interval time.Duration, fn func(window, total Snapshot)) *Sampler {
+	if reg == nil || interval <= 0 || fn == nil {
+		panic("telemetry: StartSampler needs a registry, positive interval and callback")
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	// Baseline before returning: every event recorded after StartSampler
+	// returns is guaranteed to appear in exactly one window.
+	prev := reg.Snapshot()
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				total := reg.Snapshot()
+				fn(total.Sub(prev), total)
+				prev = total
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling and waits for the sampler goroutine to exit. Safe to
+// call more than once.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

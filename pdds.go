@@ -28,6 +28,12 @@
 // StartForwarder additionally runs the per-hop behaviour on live UDP
 // sockets: a class-marking forwarder whose egress is scheduled by WTP.
 //
+// NewTelemetry provides live observability for all of the above: lock-free
+// per-class counters and delay histograms, streaming adjacent-class delay
+// ratios judged against the DDP targets, and an HTTP /metrics endpoint.
+// Attach one via LinkConfig.Telemetry, PathConfig.Telemetry or
+// ForwarderConfig.MetricsAddr.
+//
 // All simulation randomness is seeded: equal configurations produce
 // bit-identical results.
 package pdds
@@ -90,6 +96,12 @@ type LinkConfig struct {
 	Horizon, Warmup float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Telemetry, if set, observes the link live: per-class counters,
+	// delay histograms and streaming DDP-ratio tracking, including
+	// during the run (e.g. from the HTTP endpoint; see NewTelemetry).
+	// Unlike the post-run LinkReport, telemetry sees warm-up traffic
+	// too.
+	Telemetry *Telemetry
 }
 
 func (c LinkConfig) withDefaults() LinkConfig {
@@ -169,9 +181,10 @@ func SimulateLink(cfg LinkConfig) (*LinkReport, error) {
 			Alpha:     cfg.Alpha,
 			Poisson:   cfg.Poisson,
 		},
-		Horizon: cfg.Horizon,
-		Warmup:  cfg.Warmup,
-		Seed:    cfg.Seed,
+		Horizon:   cfg.Horizon,
+		Warmup:    cfg.Warmup,
+		Seed:      cfg.Seed,
+		Telemetry: cfg.Telemetry.registry(),
 		Observers: []func(*core.Packet){func(p *core.Packet) {
 			if p.Departure >= warmup {
 				samples[p.Class].Add(p.Wait())
@@ -228,6 +241,9 @@ type PathConfig struct {
 	WarmupSec float64
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Telemetry, if set, observes every hop live, aggregated across the
+	// path (see NewTelemetry).
+	Telemetry *Telemetry
 }
 
 // PathReport is SimulatePath's result.
@@ -284,6 +300,7 @@ func SimulatePath(cfg PathConfig) (*PathReport, error) {
 		Experiments: cfg.Experiments,
 		WarmupSec:   cfg.WarmupSec,
 		Seed:        cfg.Seed,
+		Telemetry:   cfg.Telemetry.registry(),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,152 @@
+package pdds
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryLiveRatiosMatchSDPs is the observability acceptance
+// criterion: with telemetry enabled on a ρ=0.95 WTP single-link run, the
+// /metrics-style snapshot reports adjacent-class delay ratios within 10%
+// of the SDP-implied targets (2, 2, 2 for SDPs 1,2,4,8). The run is
+// seeded, so the assertion is deterministic.
+func TestTelemetryLiveRatiosMatchSDPs(t *testing.T) {
+	sdp := []float64{1, 2, 4, 8}
+	tel := NewTelemetry(sdp)
+	rep, err := SimulateLink(LinkConfig{
+		Scheduler:   WTP,
+		SDP:         sdp,
+		Utilization: 0.95,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratios := tel.Ratios()
+	targets := tel.TargetRatios()
+	if len(ratios) != 3 || len(targets) != 3 {
+		t.Fatalf("ratios %v targets %v", ratios, targets)
+	}
+	for i, r := range ratios {
+		if math.Abs(r/targets[i]-1) > 0.10 {
+			t.Errorf("live ratio[%d] = %.3f, more than 10%% from target %g", i, r, targets[i])
+		}
+	}
+	if dev, pairs := tel.Deviation(); pairs != 3 || dev > 0.10 {
+		t.Errorf("deviation %.3f over %d pairs, want <= 0.10 over 3", dev, pairs)
+	}
+
+	// Telemetry counters must agree with the simulation's own
+	// accounting (telemetry sees warm-up traffic too, so departures can
+	// only exceed the post-warm-up report).
+	classes := tel.Classes()
+	var departures uint64
+	for _, c := range classes {
+		departures += c.Departures
+		if c.DelayP95 < c.DelayP50 || c.DelayMax < c.DelayP99 {
+			t.Errorf("class %d quantiles out of order: %+v", c.Class, c)
+		}
+	}
+	var reported uint64
+	for _, cs := range rep.Classes {
+		reported += cs.Packets
+	}
+	if departures < reported {
+		t.Fatalf("telemetry saw %d departures, report has %d", departures, reported)
+	}
+
+	// The live ratios and the post-run report measure the same system:
+	// mean-delay ratios agree to a few percent (different warm-up
+	// handling).
+	for i, r := range rep.DelayRatios {
+		if ratios[i] != 0 && math.Abs(ratios[i]/r-1) > 0.05 {
+			t.Errorf("live ratio[%d] %.3f vs report ratio %.3f", i, ratios[i], r)
+		}
+	}
+}
+
+// TestTelemetryHTTPFacade serves a simulation's telemetry over HTTP and
+// checks the /metrics JSON view.
+func TestTelemetryHTTPFacade(t *testing.T) {
+	tel := NewTelemetry([]float64{1, 2})
+	if _, err := SimulateLink(LinkConfig{
+		SDP:            []float64{1, 2},
+		ClassFractions: []float64{0.5, 0.5},
+		Utilization:    0.9,
+		Horizon:        5e4,
+		Warmup:         5e3,
+		Telemetry:      tel,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Classes []struct {
+			Departures uint64 `json:"departures"`
+		} `json:"classes"`
+		Ratios []float64 `json:"delay_ratios"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 2 || m.Classes[0].Departures == 0 || len(m.Ratios) != 1 || m.Ratios[0] <= 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if text := tel.Text(); !strings.Contains(text, "ratio 0/1") {
+		t.Fatalf("text view:\n%s", text)
+	}
+}
+
+// TestTelemetryOnPath attaches one registry across all hops of a Study B
+// miniature and checks hop-aggregated accounting.
+func TestTelemetryOnPath(t *testing.T) {
+	tel := NewTelemetry([]float64{1, 2, 4, 8})
+	rep, err := SimulatePath(PathConfig{
+		Hops:        2,
+		Utilization: 0.85,
+		Experiments: 5,
+		WarmupSec:   5,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RD <= 1 {
+		t.Fatalf("path RD %g", rep.RD)
+	}
+	classes := tel.Classes()
+	var departures uint64
+	for _, c := range classes {
+		departures += c.Departures
+	}
+	if departures == 0 {
+		t.Fatal("path telemetry saw no departures")
+	}
+	// Every user packet crosses both hops; cross-traffic exits after
+	// one. Arrivals across the registry must be at least departures
+	// (drops are impossible in the lossless model).
+	var arrivals uint64
+	for _, c := range classes {
+		arrivals += c.Arrivals
+		if c.Drops != 0 {
+			t.Errorf("class %d drops %d in lossless model", c.Class, c.Drops)
+		}
+	}
+	if arrivals < departures {
+		t.Fatalf("arrivals %d < departures %d", arrivals, departures)
+	}
+}
