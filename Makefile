@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench cover experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-short race bench cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke clean
 
-all: build vet test race
+all: build vet test race conformance fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -36,11 +36,28 @@ experiments:
 experiments-quick:
 	$(GO) run ./cmd/pdexp -exp all -scale quick -out results/
 
+# Scheduler invariant oracles, differential tests and golden traces
+# (see TESTING.md). Verbose so each scheduler/scenario pair is visible.
+conformance:
+	$(GO) test -v -run 'TestConformance|TestGolden|TestHeapCalendar|TestBPRTracks' ./internal/conformance/
+
+# Regenerate the committed golden traces after an intentional behaviour
+# change. Review the diff before committing.
+golden-update:
+	$(GO) test ./internal/conformance/ -run TestGoldenTraces -update
+
 # Brief fuzzing passes over the two wire/file parsers.
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/netio/
 	$(GO) test -fuzz FuzzReadTraceCSV -fuzztime 30s ./internal/traffic/
 	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
+
+# Short fuzzing passes over the scheduler data structures: the fifo ring,
+# the WTP selection scan, and the calendar queue vs the binary heap.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDeque -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzWTPScan -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
 
 clean:
 	$(GO) clean ./...

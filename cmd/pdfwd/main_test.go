@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -10,6 +11,36 @@ import (
 
 	"pdds"
 )
+
+// listenUDPRetry binds addr, retrying briefly: on loaded CI machines a
+// just-released port can stay unavailable for a moment.
+func listenUDPRetry(t *testing.T, addr *net.UDPAddr) *net.UDPConn {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.ListenUDP("udp", addr)
+		if err == nil {
+			return conn
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bind %v: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitFor polls cond with a deadline instead of a fixed sleep, failing the
+// test with desc if the condition never holds.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, desc string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 
 func TestParseArgs(t *testing.T) {
 	opts, err := parseArgs([]string{
@@ -34,10 +65,7 @@ func TestParseArgs(t *testing.T) {
 // through it, and asserts that /metrics reports per-class counts and a
 // delay ratio consistent with the SDPs.
 func TestForwarderMetricsEndToEnd(t *testing.T) {
-	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-	if err != nil {
-		t.Fatal(err)
-	}
+	recv := listenUDPRetry(t, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	defer recv.Close()
 
 	opts, err := parseArgs([]string{
@@ -80,17 +108,10 @@ func TestForwarderMetricsEndToEnd(t *testing.T) {
 	}
 
 	// Wait for the egress to drain everything that was admitted.
-	deadline := time.Now().Add(15 * time.Second)
-	for {
+	waitFor(t, 15*time.Second, func() bool {
 		st := fwd.Stats()
-		if st.Received >= 2*perClass && st.Forwarded+st.Dropped >= st.Received {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("queue never drained: %+v", fwd.Stats())
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+		return st.Received >= 2*perClass && st.Forwarded+st.Dropped >= st.Received
+	}, "forwarder queue to drain")
 
 	resp, err := http.Get("http://" + maddr.String() + "/metrics")
 	if err != nil {
@@ -140,10 +161,12 @@ func TestForwarderMetricsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer text.Body.Close()
-	buf := make([]byte, 8192)
-	n, _ := text.Body.Read(buf)
-	if !strings.Contains(string(buf[:n]), "ratio 0/1") {
-		t.Fatalf("text view missing ratio line:\n%s", buf[:n])
+	body, err := io.ReadAll(text.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ratio 0/1") {
+		t.Fatalf("text view missing ratio line:\n%s", body)
 	}
 	line := summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios())
 	if !strings.Contains(line, "received=160") || !strings.Contains(line, "ratios=") {

@@ -9,7 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pdds"
 	"pdds/internal/cliutil"
@@ -18,23 +20,35 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdnet: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run executes the CLI against args, writing the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdnet", flag.ContinueOnError)
 	var (
-		hops        = flag.Int("hops", 4, "congested hops K")
-		rho         = flag.Float64("rho", 0.95, "per-link utilization")
-		sdpStr      = flag.String("sdp", "1,2,4,8", "per-hop scheduler parameters")
-		sched       = flag.String("sched", "wtp", "per-hop scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd")
-		flowPackets = flag.Int("flow-packets", 10, "user-flow length F, packets")
-		flowKbps    = flag.Float64("flow-kbps", 50, "user-flow average rate R_u, kbps")
-		experiments = flag.Int("experiments", 100, "user experiments M (one per second)")
-		warmup      = flag.Float64("warmup", 100, "warm-up, seconds")
-		seed        = flag.Uint64("seed", 1, "random seed")
+		hops        = fs.Int("hops", 4, "congested hops K")
+		rho         = fs.Float64("rho", 0.95, "per-link utilization")
+		sdpStr      = fs.String("sdp", "1,2,4,8", "per-hop scheduler parameters")
+		sched       = fs.String("sched", "wtp", "per-hop scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd")
+		flowPackets = fs.Int("flow-packets", 10, "user-flow length F, packets")
+		flowKbps    = fs.Float64("flow-kbps", 50, "user-flow average rate R_u, kbps")
+		experiments = fs.Int("experiments", 100, "user experiments M (one per second)")
+		warmup      = fs.Float64("warmup", 100, "warm-up, seconds")
+		seed        = fs.Uint64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sdp, err := cliutil.ParseFloats(*sdpStr)
 	if err != nil {
-		log.Fatalf("-sdp: %v", err)
+		return fmt.Errorf("-sdp: %w", err)
+	}
+	if len(sdp) < 2 {
+		return fmt.Errorf("-sdp: need at least two classes, got %v", sdp)
 	}
 	rep, err := pdds.SimulatePath(pdds.PathConfig{
 		Hops:        *hops,
@@ -48,15 +62,16 @@ func main() {
 		Seed:        *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("K=%d rho=%.2f F=%d Ru=%gkbps M=%d realized-utilization=%.3f\n",
+	fmt.Fprintf(stdout, "K=%d rho=%.2f F=%d Ru=%gkbps M=%d realized-utilization=%.3f\n",
 		*hops, *rho, *flowPackets, *flowKbps, *experiments, rep.Utilization)
-	fmt.Printf("R_D = %.3f (ideal %.2f)\n", rep.RD, sdp[1]/sdp[0])
-	fmt.Printf("inconsistent percentile comparisons: %d (in %d experiments)\n",
+	fmt.Fprintf(stdout, "R_D = %.3f (ideal %.2f)\n", rep.RD, sdp[1]/sdp[0])
+	fmt.Fprintf(stdout, "inconsistent percentile comparisons: %d (in %d experiments)\n",
 		rep.Inconsistent, rep.InconsistentExperiments)
 	for c, d := range rep.MeanE2E {
-		fmt.Printf("class %d mean end-to-end queueing delay: %.3f ms\n", c+1, d*1000)
+		fmt.Fprintf(stdout, "class %d mean end-to-end queueing delay: %.3f ms\n", c+1, d*1000)
 	}
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises the multi-hop CLI on a tiny config and checks
+// the report shape.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-hops", "2", "-rho", "0.9", "-sdp", "1,4",
+		"-experiments", "2", "-warmup", "2",
+		"-flow-packets", "5", "-flow-kbps", "50",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"K=2 rho=0.90",
+		"R_D =",
+		"(ideal 4.00)",
+		"inconsistent percentile comparisons",
+		"class 1 mean end-to-end queueing delay",
+		"class 2 mean end-to-end queueing delay",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-sdp", "1"},                  // single class: no ratio to report
+		{"-sdp", "nope"},               // unparsable SDP
+		{"-sched", "bogus"},            // unknown scheduler
+		{"-badflag"},                   // unknown flag
+		{"-hops", "-1", "-sdp", "1,2"}, // no congested hops (0 takes the default)
+	}
+	for _, args := range cases {
+		args = append(args, "-experiments", "1", "-warmup", "1")
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

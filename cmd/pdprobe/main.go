@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -29,36 +30,62 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdprobe: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// listenUDPRetry binds addr, retrying briefly: a just-released port (e.g. a
+// probe restarted against the same -recv address) can stay unavailable for
+// a moment on some platforms.
+func listenUDPRetry(addr string) (*net.UDPConn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn, err := net.ListenUDP("udp", laddr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// run executes the CLI against args, writing the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdprobe", flag.ContinueOnError)
 	var (
-		sendAddr = flag.String("send", "127.0.0.1:7000", "forwarder ingress address")
-		recvAddr = flag.String("recv", "127.0.0.1:7001", "local address to receive forwarded datagrams on")
-		classes  = flag.Int("classes", 4, "number of classes to probe")
-		count    = flag.Int("count", 100, "datagrams per class")
-		size     = flag.Int("size", 128, "datagram size including 18-byte header")
-		timeout  = flag.Duration("timeout", 30*time.Second, "receive deadline")
+		sendAddr = fs.String("send", "127.0.0.1:7000", "forwarder ingress address")
+		recvAddr = fs.String("recv", "127.0.0.1:7001", "local address to receive forwarded datagrams on")
+		classes  = fs.Int("classes", 4, "number of classes to probe")
+		count    = fs.Int("count", 100, "datagrams per class")
+		size     = fs.Int("size", 128, "datagram size including 18-byte header")
+		timeout  = fs.Duration("timeout", 30*time.Second, "receive deadline")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *classes < 1 || *classes > 64 {
-		log.Fatalf("-classes %d out of range", *classes)
+		return fmt.Errorf("-classes %d out of range", *classes)
 	}
 	if *size < 18 {
-		log.Fatal("-size must be >= 18 (header length)")
+		return fmt.Errorf("-size must be >= 18 (header length)")
 	}
 
-	laddr, err := net.ResolveUDPAddr("udp", *recvAddr)
+	recv, err := listenUDPRetry(*recvAddr)
 	if err != nil {
-		log.Fatalf("-recv: %v", err)
-	}
-	recv, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		log.Fatalf("bind receiver: %v", err)
+		return fmt.Errorf("bind receiver: %w", err)
 	}
 	defer recv.Close()
 
 	send, err := net.Dial("udp", *sendAddr)
 	if err != nil {
-		log.Fatalf("dial forwarder: %v", err)
+		return fmt.Errorf("dial forwarder: %w", err)
 	}
 	defer send.Close()
 
@@ -69,11 +96,11 @@ func main() {
 		for c := 0; c < *classes; c++ {
 			dg := pdds.EncodeDatagram(uint8(c), uint64(i), payload)
 			if _, err := send.Write(dg); err != nil {
-				log.Fatalf("send: %v", err)
+				return fmt.Errorf("send: %w", err)
 			}
 		}
 	}
-	fmt.Printf("sent %d datagrams (%d per class) to %s\n", total, *count, *sendAddr)
+	fmt.Fprintf(stdout, "sent %d datagrams (%d per class) to %s\n", total, *count, *sendAddr)
 
 	samples := make([]stats.Sample, *classes)
 	buf := make([]byte, 64*1024)
@@ -82,7 +109,7 @@ func main() {
 	for received < total {
 		n, _, err := recv.ReadFromUDP(buf)
 		if err != nil {
-			fmt.Printf("receive stopped after %d/%d datagrams: %v\n", received, total, err)
+			fmt.Fprintf(stdout, "receive stopped after %d/%d datagrams: %v\n", received, total, err)
 			break
 		}
 		class, _, sentAt, _, err := pdds.DecodeDatagram(buf[:n])
@@ -93,10 +120,10 @@ func main() {
 		received++
 	}
 	if received == 0 {
-		log.Fatal("nothing received — is pdfwd running and forwarding to -recv?")
+		return fmt.Errorf("nothing received — is pdfwd running and forwarding to -recv?")
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "class\treceived\tmean\tp50\tp95")
 	means := make([]float64, *classes)
 	for c := 0; c < *classes; c++ {
@@ -112,9 +139,10 @@ func main() {
 	w.Flush()
 	for c := 0; c+1 < *classes; c++ {
 		if means[c+1] > 0 {
-			fmt.Printf("mean-delay ratio d%d/d%d = %.2f\n", c+1, c+2, means[c]/means[c+1])
+			fmt.Fprintf(stdout, "mean-delay ratio d%d/d%d = %.2f\n", c+1, c+2, means[c]/means[c+1])
 		}
 	}
+	return nil
 }
 
 func fmtDur(seconds float64) string {

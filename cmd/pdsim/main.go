@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -21,27 +22,36 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdsim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run executes the CLI against args, writing the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdsim", flag.ContinueOnError)
 	var (
-		sched     = flag.String("sched", "wtp", "scheduler: wtp|bpr|fcfs|strict|wfq|drr|additive|pad|hpd")
-		sdpStr    = flag.String("sdp", "1,2,4,8", "scheduler differentiation parameters, one per class")
-		rho       = flag.Float64("rho", 0.95, "offered utilization (0,1]")
-		fractions = flag.String("fractions", "0.40,0.30,0.20,0.10", "class load distribution (sums to 1)")
-		horizon   = flag.Float64("horizon", 1e6, "simulated duration, time units")
-		warmup    = flag.Float64("warmup", 5e4, "warm-up period discarded from statistics")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		poisson   = flag.Bool("poisson", false, "exponential instead of Pareto interarrivals")
-		alpha     = flag.Float64("alpha", 1.9, "Pareto shape parameter")
+		sched     = fs.String("sched", "wtp", "scheduler: wtp|bpr|fcfs|strict|wfq|drr|additive|pad|hpd")
+		sdpStr    = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters, one per class")
+		rho       = fs.Float64("rho", 0.95, "offered utilization (0,1]")
+		fractions = fs.String("fractions", "0.40,0.30,0.20,0.10", "class load distribution (sums to 1)")
+		horizon   = fs.Float64("horizon", 1e6, "simulated duration, time units")
+		warmup    = fs.Float64("warmup", 5e4, "warm-up period discarded from statistics")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		poisson   = fs.Bool("poisson", false, "exponential instead of Pareto interarrivals")
+		alpha     = fs.Float64("alpha", 1.9, "Pareto shape parameter")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sdp, err := cliutil.ParseFloats(*sdpStr)
 	if err != nil {
-		log.Fatalf("-sdp: %v", err)
+		return fmt.Errorf("-sdp: %w", err)
 	}
 	frac, err := cliutil.ParseFloats(*fractions)
 	if err != nil {
-		log.Fatalf("-fractions: %v", err)
+		return fmt.Errorf("-fractions: %w", err)
 	}
 
 	rep, err := pdds.SimulateLink(pdds.LinkConfig{
@@ -56,23 +66,24 @@ func main() {
 		Seed:           *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("scheduler=%s rho=%.3f realized-utilization=%.3f seed=%d\n",
+	fmt.Fprintf(stdout, "scheduler=%s rho=%.3f realized-utilization=%.3f seed=%d\n",
 		rep.Scheduler, *rho, rep.Utilization, *seed)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "class\tpackets\tmean-delay\tstd-delay\tmean-delay(p-units)")
 	for i, cs := range rep.Classes {
 		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.1f\t%.2f\n",
 			i+1, cs.Packets, cs.MeanDelay, cs.StdDelay, cs.MeanDelayPUnits)
 	}
 	w.Flush()
-	fmt.Println("successive-class delay ratios (target = inverse SDP ratios):")
+	fmt.Fprintln(stdout, "successive-class delay ratios (target = inverse SDP ratios):")
 	for i, r := range rep.DelayRatios {
-		fmt.Printf("  d%d/d%d = %.3f (target %.2f)\n", i+1, i+2, r, sdp[i+1]/sdp[i])
+		fmt.Fprintf(stdout, "  d%d/d%d = %.3f (target %.2f)\n", i+1, i+2, r, sdp[i+1]/sdp[i])
 	}
 	if rep.Dropped > 0 {
-		fmt.Printf("dropped=%d\n", rep.Dropped)
+		fmt.Fprintf(stdout, "dropped=%d\n", rep.Dropped)
 	}
+	return nil
 }

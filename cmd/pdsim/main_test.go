@@ -1,0 +1,63 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises the full CLI path on a tiny config and checks
+// the report has the expected shape.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-sched", "wtp", "-rho", "0.9",
+		"-horizon", "20000", "-warmup", "2000", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"scheduler=WTP",
+		"realized-utilization=",
+		"class  packets",
+		"successive-class delay ratios",
+		"d1/d2 =",
+		"d3/d4 =",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, sched := range []string{"bpr", "fcfs", "strict", "drr"} {
+		var out strings.Builder
+		err := run([]string{
+			"-sched", sched, "-rho", "0.8", "-poisson",
+			"-horizon", "10000", "-warmup", "1000",
+		}, &out)
+		if err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+		if !strings.Contains(strings.ToLower(out.String()), "scheduler="+sched) {
+			t.Errorf("%s: report names the wrong scheduler:\n%s", sched, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-sched", "bogus", "-horizon", "1000", "-warmup", "0"},
+		{"-sdp", "not,numbers"},
+		{"-fractions", "x"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -29,27 +30,30 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdtrace: ")
-	if len(os.Args) < 2 {
-		log.Fatal("usage: pdtrace record|replay|compare [flags]")
-	}
-	var err error
-	switch os.Args[1] {
-	case "record":
-		err = record(os.Args[2:])
-	case "replay":
-		err = replay(os.Args[2:])
-	case "compare":
-		err = compare(os.Args[2:])
-	default:
-		log.Fatalf("unknown subcommand %q (want record, replay or compare)", os.Args[1])
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func record(args []string) error {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+// run dispatches to the subcommands, writing reports to stdout.
+func run(args []string, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: pdtrace record|replay|compare [flags]")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:], stdout)
+	case "replay":
+		return replay(args[1:], stdout)
+	case "compare":
+		return compare(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want record, replay or compare)", args[0])
+	}
+}
+
+func record(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	var (
 		rho       = fs.Float64("rho", 0.95, "offered utilization")
 		fractions = fs.String("fractions", "0.40,0.30,0.20,0.10", "class load distribution")
@@ -58,7 +62,9 @@ func record(args []string) error {
 		out       = fs.String("out", "", "output file (default stdout)")
 		poisson   = fs.Bool("poisson", false, "exponential instead of Pareto interarrivals")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	frac, err := cliutil.ParseFloats(*fractions)
 	if err != nil {
 		return fmt.Errorf("-fractions: %w", err)
@@ -73,7 +79,7 @@ func record(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -114,14 +120,16 @@ func replayOnce(tr *traffic.Trace, kind core.Kind, sdp []float64) (*stats.ClassD
 	return delays, nil
 }
 
-func replay(args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func replay(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	var (
 		in     = fs.String("in", "", "trace CSV file (required)")
 		sched  = fs.String("sched", "wtp", "scheduler kind")
 		sdpStr = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -140,25 +148,27 @@ func replay(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "class\tpackets\tmean-delay\tmean-delay(p-units)")
 	for c := 0; c < tr.Classes; c++ {
 		fmt.Fprintf(w, "%d\t%d\t%.1f\t%.2f\n", c+1, delays.Count(c), delays.Mean(c), delays.Mean(c)/link.PUnit)
 	}
 	w.Flush()
 	for i, r := range delays.SuccessiveRatios() {
-		fmt.Printf("d%d/d%d = %.3f\n", i+1, i+2, r)
+		fmt.Fprintf(stdout, "d%d/d%d = %.3f\n", i+1, i+2, r)
 	}
 	return nil
 }
 
-func compare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func compare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	var (
 		in     = fs.String("in", "", "trace CSV file (required)")
 		sdpStr = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -174,7 +184,7 @@ func compare(args []string) error {
 		return fmt.Errorf("%d SDPs for a %d-class trace", len(sdp), tr.Classes)
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheduler\tratios\tsum(L*W) bytes*tu")
 	var ref float64
 	for _, kind := range core.Kinds() {
@@ -195,6 +205,6 @@ func compare(args []string) error {
 		}
 	}
 	w.Flush()
-	fmt.Printf("conservation law: Σ L·W identical across schedulers (FCFS reference %.6g)\n", ref)
+	fmt.Fprintf(stdout, "conservation law: Σ L·W identical across schedulers (FCFS reference %.6g)\n", ref)
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pdds/internal/core"
@@ -30,39 +32,72 @@ func writeTempTrace(t *testing.T) string {
 func TestRecordReplayCompareSubcommands(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "rec.csv")
-	if err := record([]string{"-rho", "0.9", "-horizon", "20000", "-out", out}); err != nil {
+	if err := record([]string{"-rho", "0.9", "-horizon", "20000", "-out", out}, io.Discard); err != nil {
 		t.Fatalf("record: %v", err)
 	}
-	if err := replay([]string{"-in", out}); err != nil {
+	var replayOut strings.Builder
+	if err := replay([]string{"-in", out}, &replayOut); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	if err := compare([]string{"-in", out}); err != nil {
+	for _, want := range []string{"class", "mean-delay", "d1/d2"} {
+		if !strings.Contains(replayOut.String(), want) {
+			t.Errorf("replay output missing %q:\n%s", want, replayOut.String())
+		}
+	}
+	var compareOut strings.Builder
+	if err := compare([]string{"-in", out}, &compareOut); err != nil {
 		t.Fatalf("compare: %v", err)
+	}
+	for _, want := range []string{"scheduler", "conservation law", "wtp", "fcfs"} {
+		if !strings.Contains(compareOut.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, compareOut.String())
+		}
+	}
+}
+
+// TestRunDispatch drives the same paths main does, through the dispatcher.
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, io.Discard); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	out := filepath.Join(t.TempDir(), "rec.csv")
+	if err := run([]string{"record", "-rho", "0.9", "-horizon", "20000", "-out", out}, io.Discard); err != nil {
+		t.Fatalf("run record: %v", err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"replay", "-in", out, "-sched", "strict"}, &sb); err != nil {
+		t.Fatalf("run replay: %v", err)
+	}
+	if !strings.Contains(sb.String(), "class") {
+		t.Errorf("replay via run produced no table:\n%s", sb.String())
 	}
 }
 
 func TestReplayErrors(t *testing.T) {
-	if err := replay([]string{}); err == nil {
+	if err := replay([]string{}, io.Discard); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := replay([]string{"-in", "/nonexistent/file.csv"}); err == nil {
+	if err := replay([]string{"-in", "/nonexistent/file.csv"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
 	}
 	path := writeTempTrace(t)
-	if err := replay([]string{"-in", path, "-sdp", "1,2"}); err == nil {
+	if err := replay([]string{"-in", path, "-sdp", "1,2"}, io.Discard); err == nil {
 		t.Error("SDP/class mismatch accepted")
 	}
-	if err := replay([]string{"-in", path, "-sched", "bogus"}); err == nil {
+	if err := replay([]string{"-in", path, "-sched", "bogus"}, io.Discard); err == nil {
 		t.Error("bogus scheduler accepted")
 	}
 }
 
 func TestCompareErrors(t *testing.T) {
-	if err := compare([]string{}); err == nil {
+	if err := compare([]string{}, io.Discard); err == nil {
 		t.Error("missing -in accepted")
 	}
 	path := writeTempTrace(t)
-	if err := compare([]string{"-in", path, "-sdp", "1,2"}); err == nil {
+	if err := compare([]string{"-in", path, "-sdp", "1,2"}, io.Discard); err == nil {
 		t.Error("SDP/class mismatch accepted")
 	}
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/testutil"
+)
+
+// TestMainRuns exercises the live UDP forwarder example on loopback.
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live UDP example")
+	}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"WTP forwarder on", "measured ratio d1/d2", "forwarder stats"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/testutil"
+)
+
+// TestMainRuns sweeps the K x rho grid; this is the slowest example
+// (several seconds), so it is skipped under -short.
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"K    rho    R_D", "longer paths and heavier load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "0.95") < 3 {
+		t.Errorf("expected a grid row per K at rho=0.95:\n%s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/testutil"
+)
+
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second provisioning sweep")
+	}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"provisioning question", "feasible", "satisfaction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

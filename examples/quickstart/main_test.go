@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/testutil"
+)
+
+// TestMain runs the example end to end: it must complete and print the
+// delay-ratio report.
+func TestMainRuns(t *testing.T) {
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"scheduler", "successive-class delay ratios", "d1/d2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/testutil"
+)
+
+func TestMainRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed example")
+	}
+	out := testutil.CaptureStdout(t, main)
+	for _, want := range []string{"50 experiments", "R_D", "class 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

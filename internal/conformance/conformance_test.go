@@ -1,0 +1,205 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+)
+
+// TestConformanceAllSchedulers drives every scheduler kind through every
+// standard scenario with the structural invariants checked on each event,
+// plus the brute-force selection oracle for WTP and the fluid reference for
+// BPR.
+func TestConformanceAllSchedulers(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		for _, sc := range Scenarios() {
+			t.Run(string(kind)+"/"+sc.Name, func(t *testing.T) {
+				var obs []Observer
+				switch kind {
+				case core.KindWTP:
+					obs = append(obs, NewWTPOracle(sc.SDP))
+				case core.KindBPR:
+					obs = append(obs, NewBPRFluidObserver(sc.SDP, link.PaperLinkRate))
+				}
+				res, err := Run(kind, sc, Opts{Observers: obs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Generated == 0 || res.Departed == 0 {
+					t.Fatalf("degenerate run: %s", res.Summary())
+				}
+				if res.Dequeued+uint64(res.Backlogged) != res.Generated {
+					t.Errorf("packets leaked: %s", res.Summary())
+				}
+				if inFlight := res.Dequeued - res.Departed; inFlight > 1 {
+					t.Errorf("%d packets dequeued but never transmitted: %s", inFlight, res.Summary())
+				}
+				for _, v := range res.Violations {
+					t.Errorf("%s", v)
+				}
+			})
+		}
+	}
+}
+
+// TestBPRTracksFluidUnderHeavyLoad pins the acceptance criterion directly:
+// at >= 0.9 utilization the packetized BPR service stays within the stated
+// tolerance of the fluid Proposition-1 reference.
+func TestBPRTracksFluidUnderHeavyLoad(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if sc.Load.Rho < 0.9 {
+			continue
+		}
+		ob := NewBPRFluidObserver(sc.SDP, link.PaperLinkRate)
+		res, err := Run(core.KindBPR, sc, Opts{Observers: []Observer{ob}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Utilization < 0.85 {
+			t.Errorf("%s: utilization %.3f too low to exercise the comparison", sc.Name, res.Utilization)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("%s: %s", sc.Name, v)
+		}
+		if ob.MaxDivergence() == 0 {
+			t.Errorf("%s: zero divergence — fluid reference apparently not driven", sc.Name)
+		}
+		t.Logf("%s: max packetized-vs-fluid divergence %.0f bytes (tolerance %.0f)",
+			sc.Name, ob.MaxDivergence(), ob.Tolerance)
+	}
+}
+
+// brokenLIFO violates intra-class FIFO order and work conservation on
+// purpose: the harness must catch a scheduler like this, or the whole
+// package is vacuous.
+type brokenLIFO struct {
+	n     int
+	q     [][]*core.Packet
+	total int
+	skip  bool
+}
+
+func (s *brokenLIFO) Name() string     { return "brokenLIFO" }
+func (s *brokenLIFO) NumClasses() int  { return s.n }
+func (s *brokenLIFO) Backlogged() bool { return s.total > 0 }
+func (s *brokenLIFO) Len(i int) int    { return len(s.q[i]) }
+func (s *brokenLIFO) Bytes(i int) int64 {
+	var b int64
+	for _, p := range s.q[i] {
+		b += p.Size
+	}
+	return b
+}
+
+func (s *brokenLIFO) Enqueue(p *core.Packet, now float64) {
+	s.q[p.Class] = append(s.q[p.Class], p)
+	s.total++
+}
+
+func (s *brokenLIFO) Dequeue(now float64) *core.Packet {
+	// Idle every other call despite backlog (work-conservation breach)...
+	s.skip = !s.skip
+	if s.skip && s.total > 1 {
+		return nil
+	}
+	// ...and serve the NEWEST packet of the lowest backlogged class
+	// (FIFO breach).
+	for i := 0; i < s.n; i++ {
+		if n := len(s.q[i]); n > 0 {
+			p := s.q[i][n-1]
+			s.q[i] = s.q[i][:n-1]
+			s.total--
+			return p
+		}
+	}
+	return nil
+}
+
+func TestHarnessDetectsBrokenScheduler(t *testing.T) {
+	sc := GoldenScenario()
+	sched := &brokenLIFO{n: len(sc.SDP), q: make([][]*core.Packet, len(sc.SDP))}
+	res, err := RunScheduler(sched, sc, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatal("harness passed a LIFO, non-work-conserving scheduler")
+	}
+	var gotFIFO, gotWC bool
+	for _, v := range res.Violations {
+		switch v.Observer {
+		case "fifo":
+			gotFIFO = true
+		case "work-conservation":
+			gotWC = true
+		}
+	}
+	if !gotFIFO || !gotWC {
+		t.Errorf("expected fifo and work-conservation violations, got: %v", res.Violations)
+	}
+}
+
+func TestWTPOracleDetectsWrongSelection(t *testing.T) {
+	// An "additive" scheduler is work-conserving and per-class FIFO but
+	// picks by w + s rather than w·s — the oracle must reject it when
+	// checked against WTP semantics.
+	sc := GoldenScenario()
+	res, err := RunScheduler(core.NewAdditive(sc.SDP), sc,
+		Opts{Observers: []Observer{NewWTPOracle(sc.SDP)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracleFired bool
+	for _, v := range res.Violations {
+		if v.Observer == "wtp-oracle" {
+			oracleFired = true
+		} else {
+			t.Errorf("unexpected structural violation from Additive: %s", v)
+		}
+	}
+	if !oracleFired {
+		t.Fatal("WTP oracle accepted an additive-priority scheduler")
+	}
+}
+
+func TestBPRFluidObserverDetectsNonProportionalService(t *testing.T) {
+	// Strict priority is work-conserving but starves low classes; its
+	// service split must diverge from the fluid BPR reference far beyond
+	// the tolerance under heavy load.
+	sc := Scenarios()[0] // heavy-pareto
+	ob := NewBPRFluidObserver(sc.SDP, link.PaperLinkRate)
+	res, err := RunScheduler(core.NewStrict(len(sc.SDP)), sc,
+		Opts{Observers: []Observer{ob}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired bool
+	for _, v := range res.Violations {
+		if v.Observer == "bpr-fluid" {
+			fired = true
+			if !strings.Contains(v.Msg, "diverged") {
+				t.Errorf("unexpected message: %s", v)
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("fluid observer accepted strict priority (max divergence %.0f bytes)",
+			ob.MaxDivergence())
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	res, err := Run(core.KindFCFS, GoldenScenario(), Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "FCFS/golden") || !strings.Contains(s, "violations=0") {
+		t.Errorf("summary %q", s)
+	}
+	if !res.Ok() {
+		t.Errorf("FCFS violated invariants: %v", res.Violations)
+	}
+}

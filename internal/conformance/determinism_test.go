@@ -1,0 +1,85 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/telemetry"
+	"pdds/internal/traffic"
+)
+
+// runSeededWithTelemetry executes one fully instrumented single-link run —
+// scheduler behind a real link with a telemetry registry attached — and
+// returns the per-packet delay record stream plus the /metrics JSON body
+// served by the live HTTP handler (with the wall-clock uptime field
+// stripped, the only legitimately nondeterministic value).
+func runSeededWithTelemetry(t *testing.T) (records []byte, metrics []byte) {
+	t.Helper()
+	sdp := []float64{1, 2, 4, 8}
+	reg := telemetry.NewWithSDP(sdp)
+	var rec bytes.Buffer
+	res, err := link.Run(link.RunConfig{
+		Kind:      core.KindWTP,
+		SDP:       sdp,
+		Load:      traffic.PaperLoad(0.95),
+		Horizon:   20000,
+		Warmup:    2000,
+		Seed:      42,
+		Telemetry: reg,
+		Observers: []func(*core.Packet){func(p *core.Packet) {
+			fmt.Fprintf(&rec, "%d %d %s %s %s\n", p.ID, p.Class,
+				g17(p.Arrival), g17(p.Start), g17(p.Departure))
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed == 0 {
+		t.Fatal("no departures")
+	}
+
+	w := httptest.NewRecorder()
+	telemetry.Handler(reg).ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("/metrics status %d", w.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["uptime_sec"]; !ok {
+		t.Fatal("/metrics missing uptime_sec — strip list is stale")
+	}
+	delete(m, "uptime_sec") // wall time: the one non-seeded quantity
+	stripped, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Bytes(), stripped
+}
+
+// TestSeededRunIsBitIdentical runs the same seeded scenario twice through
+// the full stack (traffic -> scheduler -> link -> telemetry -> HTTP
+// rendering) and requires bit-identical per-packet delay records and
+// /metrics snapshots. This is the repo's determinism contract: equal
+// configurations must produce equal results, or no golden trace, figure, or
+// A/B comparison can be trusted.
+func TestSeededRunIsBitIdentical(t *testing.T) {
+	rec1, met1 := runSeededWithTelemetry(t)
+	rec2, met2 := runSeededWithTelemetry(t)
+	if !bytes.Equal(rec1, rec2) {
+		t.Errorf("per-packet delay records differ between identical runs:\n%s",
+			traceDiff(rec1, rec2))
+	}
+	if !bytes.Equal(met1, met2) {
+		t.Errorf("/metrics snapshots differ between identical runs:\nrun1: %s\nrun2: %s", met1, met2)
+	}
+	if len(rec1) == 0 {
+		t.Fatal("empty delay record stream")
+	}
+}

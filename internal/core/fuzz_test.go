@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzDeque drives the fifo ring buffer through arbitrary operation
+// sequences and cross-checks every observable against a plain-slice
+// reference model. The ring's head/wrap arithmetic is exactly the kind of
+// code a fuzzer breaks and a table test doesn't.
+func FuzzDeque(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2})
+	f.Add([]byte{0, 2, 0, 1, 0, 2, 0, 1, 0, 2})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q fifo
+		var ref []*Packet
+		nextID := uint64(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				p := &Packet{ID: nextID, Size: int64(nextID%1500 + 1)}
+				nextID++
+				q.Push(p)
+				ref = append(ref, p)
+			case 1: // pop head
+				got := q.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("Pop from empty returned %v", got)
+					}
+					continue
+				}
+				if got != ref[0] {
+					t.Fatalf("Pop = %v, reference head %v", got, ref[0])
+				}
+				ref = ref[1:]
+			case 2: // pop tail
+				got := q.PopTail()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("PopTail from empty returned %v", got)
+					}
+					continue
+				}
+				if got != ref[len(ref)-1] {
+					t.Fatalf("PopTail = %v, reference tail %v", got, ref[len(ref)-1])
+				}
+				ref = ref[:len(ref)-1]
+			}
+			// Invariants after every operation.
+			if q.Len() != len(ref) {
+				t.Fatalf("Len = %d, reference %d", q.Len(), len(ref))
+			}
+			if q.Empty() != (len(ref) == 0) {
+				t.Fatalf("Empty = %v with %d reference packets", q.Empty(), len(ref))
+			}
+			if len(ref) > 0 {
+				if q.Peek() != ref[0] {
+					t.Fatalf("Peek = %v, reference %v", q.Peek(), ref[0])
+				}
+				if q.PeekTail() != ref[len(ref)-1] {
+					t.Fatalf("PeekTail = %v, reference %v", q.PeekTail(), ref[len(ref)-1])
+				}
+				mid := len(ref) / 2
+				if q.At(mid) != ref[mid] {
+					t.Fatalf("At(%d) = %v, reference %v", mid, q.At(mid), ref[mid])
+				}
+			} else if q.Peek() != nil || q.PeekTail() != nil {
+				t.Fatal("Peek/PeekTail non-nil on empty queue")
+			}
+		}
+	})
+}
+
+// FuzzWTPScan feeds WTP random interleavings of enqueues and dequeues with
+// a monotone clock and verifies every selection against a brute-force
+// oracle over all queued packets: serve the maximum w·s priority, ties to
+// the higher class, FIFO within a class. This is the §4.2 selection rule
+// checked exhaustively rather than on the O(N) head scan's own terms.
+func FuzzWTPScan(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 12, 2, 30, 255, 3, 5, 255, 255})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 255, 255, 255, 255})
+	f.Add([]byte{3, 200, 2, 200, 1, 200, 0, 200, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sdp := []float64{1, 2, 4, 8}
+		w := NewWTP(sdp)
+		mirror := make([][]*Packet, len(sdp))
+		now := 0.0
+		total := 0
+		nextID := uint64(1)
+		for i := 0; i+1 < len(data) || (i < len(data) && data[i] == 255); i++ {
+			op := data[i]
+			if op == 255 { // dequeue
+				now += 0.5
+				got := w.Dequeue(now)
+				if total == 0 {
+					if got != nil {
+						t.Fatalf("Dequeue from empty returned %v", got)
+					}
+					continue
+				}
+				if got == nil {
+					t.Fatalf("work conservation: nil Dequeue with %d queued", total)
+				}
+				// Brute-force oracle over every queued packet.
+				bc, bp := -1, -1
+				var bestPri float64
+				for c := range mirror {
+					for j, p := range mirror[c] {
+						pri := (now - p.Arrival) * sdp[c]
+						if bc == -1 || pri > bestPri ||
+							(pri == bestPri && (c > bc || (c == bc && j < bp))) {
+							bc, bp, bestPri = c, j, pri
+						}
+					}
+				}
+				want := mirror[bc][bp]
+				if got != want {
+					t.Fatalf("t=%g served id=%d class=%d, oracle wants id=%d class=%d",
+						now, got.ID, got.Class, want.ID, want.Class)
+				}
+				if bp != 0 {
+					t.Fatalf("oracle selected non-head position %d", bp)
+				}
+				mirror[bc] = mirror[bc][1:]
+				total--
+				continue
+			}
+			// enqueue: op selects the class, next byte the arrival gap.
+			class := int(op) % len(sdp)
+			i++
+			now += float64(data[i]) / 16
+			p := &Packet{ID: nextID, Class: class, Size: 100, Arrival: now}
+			nextID++
+			w.Enqueue(p, now)
+			mirror[class] = append(mirror[class], p)
+			total++
+		}
+	})
+}

@@ -1,0 +1,34 @@
+// Package testutil holds small helpers shared by tests across the module.
+package testutil
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// CaptureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything f printed. It is not safe for parallel use: os.Stdout is
+// process-global.
+func CaptureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	f()
+	w.Close()
+	out := <-done
+	r.Close()
+	os.Stdout = orig
+	return string(out)
+}
