@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke clean
+# Benchmark iteration budget for bench/bench-save/bench-cmp; raise for
+# lower-variance numbers (e.g. BENCHTIME=5s).
+BENCHTIME ?= 1s
+
+.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke clean
 
 all: build vet test race conformance fuzz-smoke
 
@@ -17,14 +21,28 @@ vet:
 test:
 	$(GO) test ./...
 
+# The repeated ForEach stress run exercises the parallel replication
+# runner's work-stealing dispatch under the race detector before the
+# whole-tree pass (which covers ./internal/experiments once more).
 race:
+	$(GO) test -race -run TestForEachRaceStress -count=5 ./internal/experiments/
 	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./...
+
+# Record the benchmark baseline artifact (ns/op, allocs/op, packets/sec
+# per benchmark). Commit BENCH_baseline.json so perf changes show up in
+# review via bench-cmp.
+bench-save:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/pdbench -save BENCH_baseline.json
+
+# Compare the current tree against the committed baseline.
+bench-cmp:
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/pdbench -baseline BENCH_baseline.json
 
 cover:
 	$(GO) test -cover ./...

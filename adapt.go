@@ -54,6 +54,8 @@ type AdaptReport struct {
 	ClassOccupancy []int
 	// MeanCost is the average final class index + 1.
 	MeanCost float64
+	// Packets counts completed transmissions over the run.
+	Packets uint64
 }
 
 // SimulateAdaptation runs the end-system adaptation scenario of §1/§7:
@@ -92,7 +94,7 @@ func SimulateAdaptation(cfg AdaptConfig) (*AdaptReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &AdaptReport{ClassOccupancy: res.ClassOccupancy, MeanCost: res.MeanCost}
+	rep := &AdaptReport{ClassOccupancy: res.ClassOccupancy, MeanCost: res.MeanCost, Packets: res.Departed}
 	for _, u := range res.Users {
 		rep.Users = append(rep.Users, AdaptedUser{
 			FinalClass:      u.FinalClass,

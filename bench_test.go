@@ -2,10 +2,15 @@ package pdds
 
 // One benchmark per table and figure of the paper's evaluation, driven by
 // the same experiment code as cmd/pdexp (at the reduced Bench scale so an
-// iteration stays sub-second), plus micro-benchmarks of the schedulers
-// themselves. Regenerating the paper's numbers at full fidelity is
-// cmd/pdexp's job; these benches make the full pipeline part of
-// `go test -bench`.
+// iteration stays sub-second), plus micro-benchmarks of the schedulers,
+// the event engine and the packet free list. Regenerating the paper's
+// numbers at full fidelity is cmd/pdexp's job; these benches make the full
+// pipeline part of `go test -bench`.
+//
+// Every benchmark reports allocations and a packets/sec metric (simulated
+// packets completed per wall-clock second), so `make bench-save` /
+// `make bench-cmp` track both the allocation profile and end-to-end
+// throughput against BENCH_baseline.json.
 
 import (
 	"io"
@@ -16,134 +21,181 @@ import (
 	"pdds/internal/experiments"
 	"pdds/internal/link"
 	"pdds/internal/model"
+	"pdds/internal/sim"
 	"pdds/internal/telemetry"
 	"pdds/internal/traffic"
 )
 
 func benchScale() experiments.Scale { return experiments.Bench }
 
-func BenchmarkFig1a(b *testing.B) {
+// benchExperiment times fn b.N times and reports the packets/sec metric
+// from the experiments package's shared run counters (every driver routes
+// its runs through them).
+func benchExperiment(b *testing.B, fn func() error) {
+	b.Helper()
+	b.ReportAllocs()
+	experiments.ResetCounters()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig1(experiments.PaperSDPx2, benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.WriteFig1TSV(io.Discard, points, 2); err != nil {
+		if err := fn(); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportPacketsPerSec(b, experiments.PacketCount())
+}
+
+// reportPacketsPerSec attaches the custom throughput metric: simulated
+// packets completed per second of measured benchmark time.
+func reportPacketsPerSec(b *testing.B, packets uint64) {
+	b.Helper()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(packets)/s, "packets/sec")
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	benchExperiment(b, func() error {
+		points, err := experiments.Fig1(experiments.PaperSDPx2, benchScale())
+		if err != nil {
+			return err
+		}
+		return experiments.WriteFig1TSV(io.Discard, points, 2)
+	})
 }
 
 func BenchmarkFig1b(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Fig1(experiments.PaperSDPx4, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteFig1TSV(io.Discard, points, 4); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteFig1TSV(io.Discard, points, 4)
+	})
 }
 
 func BenchmarkFig2a(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Fig2(experiments.PaperSDPx2, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteFig2TSV(io.Discard, points, 2); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteFig2TSV(io.Discard, points, 2)
+	})
 }
 
 func BenchmarkFig2b(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Fig2(experiments.PaperSDPx4, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteFig2TSV(io.Discard, points, 4); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteFig2TSV(io.Discard, points, 4)
+	})
 }
 
 func BenchmarkFig3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Fig3(experiments.PaperSDPx2, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteFig3TSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteFig3TSV(io.Discard, points)
+	})
 }
 
 func BenchmarkFig4BPRMicro(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		res, err := experiments.Micro(core.KindBPR, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteMicroSeriesCSV(io.Discard, res); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteMicroSeriesCSV(io.Discard, res)
+	})
 }
 
 func BenchmarkFig5WTPMicro(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		res, err := experiments.Micro(core.KindWTP, benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteMicroSeriesCSV(io.Discard, res); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteMicroSeriesCSV(io.Discard, res)
+	})
 }
 
 func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		cells, err := experiments.Table1(benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteTable1TSV(io.Discard, cells); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteTable1TSV(io.Discard, cells)
+	})
 }
 
 func BenchmarkFeasibility(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Feasibility(benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteFeasibilityTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
+		return experiments.WriteFeasibilityTSV(io.Discard, points)
+	})
 }
 
 func BenchmarkAblation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	benchExperiment(b, func() error {
 		points, err := experiments.Ablation(benchScale())
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
-		if err := experiments.WriteAblationTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
+		return experiments.WriteAblationTSV(io.Discard, points)
+	})
+}
+
+func BenchmarkLossExtension(b *testing.B) {
+	benchExperiment(b, func() error {
+		points, err := experiments.Loss(benchScale())
+		if err != nil {
+			return err
 		}
-	}
+		return experiments.WriteLossTSV(io.Discard, points)
+	})
+}
+
+func BenchmarkModerateExtension(b *testing.B) {
+	benchExperiment(b, func() error {
+		points, err := experiments.Moderate(benchScale())
+		if err != nil {
+			return err
+		}
+		return experiments.WriteModerateTSV(io.Discard, points)
+	})
+}
+
+func BenchmarkPathSched(b *testing.B) {
+	benchExperiment(b, func() error {
+		points, err := experiments.PathSched(benchScale())
+		if err != nil {
+			return err
+		}
+		return experiments.WritePathSchedTSV(io.Discard, points)
+	})
+}
+
+func BenchmarkHPDGSweep(b *testing.B) {
+	benchExperiment(b, func() error {
+		points, err := experiments.HPDG(benchScale())
+		if err != nil {
+			return err
+		}
+		return experiments.WriteHPDGTSV(io.Discard, points)
+	})
 }
 
 // BenchmarkScheduler measures raw enqueue+dequeue throughput of each
-// discipline with four busy classes.
+// discipline with four busy classes (one packet cycled per iteration).
 func BenchmarkScheduler(b *testing.B) {
 	for _, kind := range core.Kinds() {
 		kind := kind
@@ -169,17 +221,62 @@ func BenchmarkScheduler(b *testing.B) {
 				p.Arrival = now
 				s.Enqueue(p, now)
 			}
+			b.StopTimer()
+			reportPacketsPerSec(b, uint64(b.N))
 		})
 	}
 }
 
-// BenchmarkSingleLink measures end-to-end simulation throughput: events
-// per second of the full source→scheduler→link pipeline.
+// BenchmarkEngineSchedule measures the event engine hot path on both
+// queue backends: one AfterFunc+Step cycle per iteration against a warm
+// pending set, exercising the pooled event nodes.
+func BenchmarkEngineSchedule(b *testing.B) {
+	nop := func(any) {}
+	for _, backend := range []string{"heap", "calendar"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			e := sim.NewEngine()
+			if backend == "calendar" {
+				e = sim.NewEngineCalendar()
+			}
+			// Warm pending set so Pop always reorders real work.
+			for i := 0; i < 64; i++ {
+				e.AfterFunc(float64(i)+0.5, nop, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.AfterFunc(0.25, nop, nil)
+				e.Step()
+			}
+			b.StopTimer()
+			reportPacketsPerSec(b, uint64(b.N))
+		})
+	}
+}
+
+// BenchmarkPacketPool measures the packet free list cycle.
+func BenchmarkPacketPool(b *testing.B) {
+	pool := core.NewPacketPool()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.ID = uint64(i)
+		p.Size = 550
+		pool.Put(p)
+	}
+	b.StopTimer()
+	reportPacketsPerSec(b, uint64(b.N))
+}
+
+// BenchmarkSingleLink measures end-to-end simulation throughput of the
+// full source→scheduler→link pipeline.
 func BenchmarkSingleLink(b *testing.B) {
 	for _, kind := range []core.Kind{core.KindWTP, core.KindBPR, core.KindFCFS} {
 		kind := kind
 		b.Run(string(kind), func(b *testing.B) {
 			b.ReportAllocs()
+			var departed uint64
 			for i := 0; i < b.N; i++ {
 				res, err := link.Run(link.RunConfig{
 					Kind:    kind,
@@ -195,7 +292,10 @@ func BenchmarkSingleLink(b *testing.B) {
 				if res.Departed == 0 {
 					b.Fatal("no packets")
 				}
+				departed += res.Departed
 			}
+			b.StopTimer()
+			reportPacketsPerSec(b, departed)
 		})
 	}
 }
@@ -222,6 +322,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
+			var departed uint64
 			for i := 0; i < b.N; i++ {
 				cfg := base
 				cfg.Seed = uint64(i + 1)
@@ -233,36 +334,16 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				if res.Departed == 0 {
 					b.Fatal("no packets")
 				}
+				departed += res.Departed
 			}
+			b.StopTimer()
+			reportPacketsPerSec(b, departed)
 		})
 	}
 }
 
-func BenchmarkLossExtension(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Loss(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.WriteLossTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkModerateExtension(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Moderate(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.WriteModerateTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkCodec measures header encode+decode round trips.
+// BenchmarkCodec measures header encode+decode round trips (one datagram
+// per iteration).
 func BenchmarkCodec(b *testing.B) {
 	b.ReportAllocs()
 	dst := make([]byte, 0, 64)
@@ -277,9 +358,13 @@ func BenchmarkCodec(b *testing.B) {
 		sink += seq
 	}
 	_ = sink
+	b.StopTimer()
+	reportPacketsPerSec(b, uint64(b.N))
 }
 
-// BenchmarkFluidBPRDrain measures the RK4 backlog integrator.
+// BenchmarkFluidBPRDrain measures the RK4 backlog integrator. The
+// packets/sec metric counts drained class backlogs as packet-equivalents
+// (the fluid model has no discrete packets).
 func BenchmarkFluidBPRDrain(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -289,10 +374,14 @@ func BenchmarkFluidBPRDrain(b *testing.B) {
 		}
 		f.Drain(f.TimeToEmpty()*0.9, 64)
 	}
+	b.StopTimer()
+	reportPacketsPerSec(b, uint64(b.N)*4)
 }
 
 // BenchmarkDCS measures the dynamic class selection simulation.
 func BenchmarkDCS(b *testing.B) {
+	b.ReportAllocs()
+	var departed uint64
 	for i := 0; i < b.N; i++ {
 		rep, err := SimulateAdaptation(AdaptConfig{
 			Users: []AdaptiveUser{
@@ -309,11 +398,16 @@ func BenchmarkDCS(b *testing.B) {
 		if len(rep.Users) != 2 {
 			b.Fatal("bad report")
 		}
+		departed += rep.Packets
 	}
+	b.StopTimer()
+	reportPacketsPerSec(b, departed)
 }
 
 // BenchmarkECNClosedLoop measures the AIMD/ECN closed-loop simulation.
 func BenchmarkECNClosedLoop(b *testing.B) {
+	b.ReportAllocs()
+	var departed uint64
 	for i := 0; i < b.N; i++ {
 		res, err := ecn.Run(ecn.Config{
 			SDP: []float64{1, 2, 4, 8},
@@ -331,7 +425,10 @@ func BenchmarkECNClosedLoop(b *testing.B) {
 		if res.Utilization <= 0 {
 			b.Fatal("no traffic")
 		}
+		departed += res.Departed
 	}
+	b.StopTimer()
+	reportPacketsPerSec(b, departed)
 }
 
 // BenchmarkTraceReplay measures trace recording + FCFS replay throughput.
@@ -347,16 +444,20 @@ func BenchmarkTraceReplay(b *testing.B) {
 			b.Fatal("no delay measured")
 		}
 	}
+	b.StopTimer()
+	reportPacketsPerSec(b, uint64(b.N)*uint64(len(tr.Arrivals)))
 }
 
 // BenchmarkFeasibilityCheck measures a full Eq. (7) evaluation (14 FCFS
-// sub-simulations on a recorded trace).
+// sub-simulations on a recorded trace; packets/sec counts the aggregate
+// trace replayed once per condition).
 func BenchmarkFeasibilityCheck(b *testing.B) {
 	tr, err := traffic.Record(traffic.PaperLoad(0.9), link.PaperLinkRate, 50000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
 	ddp := model.DDPsFromSDPs([]float64{1, 2, 4, 8})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := model.CheckDDPs(tr, link.PaperLinkRate, ddp)
@@ -367,28 +468,6 @@ func BenchmarkFeasibilityCheck(b *testing.B) {
 			b.Fatal("wrong condition count")
 		}
 	}
-}
-
-func BenchmarkPathSched(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.PathSched(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.WritePathSchedTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkHPDGSweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.HPDG(benchScale())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := experiments.WriteHPDGTSV(io.Discard, points); err != nil {
-			b.Fatal(err)
-		}
-	}
+	b.StopTimer()
+	reportPacketsPerSec(b, uint64(b.N)*14*uint64(len(tr.Arrivals)))
 }

@@ -1,0 +1,156 @@
+// Command pdbench turns `go test -bench` output into a tracked baseline.
+// It reads benchmark output on stdin, and either saves the parsed results
+// as a JSON baseline artifact or compares them against a previously saved
+// baseline, printing per-benchmark deltas for ns/op, allocs/op and the
+// packets/sec throughput metric.
+//
+// Examples:
+//
+//	go test -bench . -benchmem ./... | pdbench -save BENCH_baseline.json
+//	go test -bench . -benchmem ./... | pdbench -baseline BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdbench: ")
+
+	var (
+		save     = flag.String("save", "", "write the parsed benchmarks to this JSON baseline file")
+		baseline = flag.String("baseline", "", "compare the parsed benchmarks against this JSON baseline file")
+	)
+	flag.Parse()
+
+	benches, err := ParseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark lines found on stdin (run with `go test -bench . -benchmem`)")
+	}
+
+	if *save != "" {
+		art := Artifact{
+			Tool:        "pdbench",
+			GoVersion:   runtime.Version(),
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Benchmarks:  benches,
+		}
+		if err := writeArtifact(*save, art); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdbench: saved %d benchmarks to %s\n", len(benches), *save)
+	}
+
+	switch {
+	case *baseline != "":
+		base, err := readArtifact(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeComparison(os.Stdout, base, benches); err != nil {
+			log.Fatal(err)
+		}
+	case *save == "":
+		// Neither flag: print the parsed table (sanity check / ad hoc use).
+		if err := writeTable(os.Stdout, benches); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeArtifact(path string, art Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}
+
+func writeTable(w *os.File, benches []Bench) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tB/op\tpackets/sec")
+	for _, b := range benches {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp, b.PacketsPerSec)
+	}
+	return tw.Flush()
+}
+
+// writeComparison prints current-vs-baseline deltas. A positive ns/op or
+// allocs/op delta is a regression; a positive packets/sec delta is an
+// improvement.
+func writeComparison(w *os.File, base *Artifact, cur []Bench) error {
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Pkg+" "+b.Name] = b
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tns/op\tdelta\tallocs/op\tdelta\tpackets/sec\tdelta")
+	var missing int
+	for _, b := range cur {
+		old, ok := byName[b.Pkg+" "+b.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t(new)\t%.0f\t(new)\t%.0f\t(new)\n",
+				b.Name, b.NsPerOp, b.AllocsPerOp, b.PacketsPerSec)
+			continue
+		}
+		delete(byName, b.Pkg+" "+b.Name)
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\t%.0f\t%s\t%.0f\t%s\n",
+			b.Name,
+			b.NsPerOp, pctDelta(old.NsPerOp, b.NsPerOp),
+			b.AllocsPerOp, absDelta(old.AllocsPerOp, b.AllocsPerOp),
+			b.PacketsPerSec, pctDelta(old.PacketsPerSec, b.PacketsPerSec))
+	}
+	missing = len(byName)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if missing > 0 {
+		fmt.Fprintf(w, "# %d baseline benchmarks not present in this run\n", missing)
+	}
+	return nil
+}
+
+// pctDelta renders the relative change from old to new ("+12.3%"), or
+// "n/a" when the baseline value is unusable.
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// absDelta renders the absolute change for counts like allocs/op, where a
+// relative change against a tiny base is noise.
+func absDelta(old, new float64) string {
+	return fmt.Sprintf("%+.0f", new-old)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Pkg is the import path from the preceding "pkg:" header line
+	// (empty when the output had none).
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name with any GOMAXPROCS "-N" suffix removed,
+	// so baselines recorded on machines with different core counts still
+	// match up.
+	Name string `json:"name"`
+	// N is the iteration count the values were averaged over.
+	N int64 `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem allocation stats
+	// (zero when -benchmem was off).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// PacketsPerSec is this repo's custom throughput metric: simulated
+	// packets completed per wall-clock second.
+	PacketsPerSec float64 `json:"packets_per_sec"`
+}
+
+// Artifact is the JSON baseline file layout.
+type Artifact struct {
+	Tool        string  `json:"tool"`
+	GoVersion   string  `json:"go_version"`
+	GeneratedAt string  `json:"generated_at"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+// procSuffix matches the "-8" style GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBench extracts benchmark result lines from `go test -bench` output.
+// Non-benchmark lines (package headers, PASS/ok, test logs) are skipped.
+// A line is a result when it starts with "Benchmark", has an iteration
+// count, and then "value unit" pairs such as "123 ns/op" or
+// "456 packets/sec".
+func ParseBench(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then at least one value/unit pair.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Pkg: pkg, Name: procSuffix.ReplaceAllString(fields[0], ""), N: n}
+		valid := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				valid = false
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			case "packets/sec":
+				b.PacketsPerSec = v
+			default:
+				// Unknown custom metric: ignore, keep the line.
+			}
+		}
+		if !valid {
+			continue
+		}
+		if b.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchmark %s: no ns/op value in %q", b.Name, line)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

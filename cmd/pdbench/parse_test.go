@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pdds
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig3           	      20	   3383705 ns/op	   2461503 packets/sec	  105734 B/op	    2876 allocs/op
+BenchmarkScheduler/wtp-8  	      20	        44.30 ns/op	  22573363 packets/sec	       0 B/op	       0 allocs/op
+BenchmarkPacketPool     	 1000000	        38.05 ns/op	  26281209 packets/sec	       6 B/op	       0 allocs/op
+BenchmarkNoMem          	     100	       120 ns/op
+PASS
+ok  	pdds	0.080s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(benches), benches)
+	}
+
+	fig3 := benches[0]
+	if fig3.Name != "BenchmarkFig3" || fig3.N != 20 {
+		t.Errorf("fig3 header = %q/%d, want BenchmarkFig3/20", fig3.Name, fig3.N)
+	}
+	if fig3.NsPerOp != 3383705 || fig3.BytesPerOp != 105734 || fig3.AllocsPerOp != 2876 {
+		t.Errorf("fig3 values = %+v", fig3)
+	}
+	if fig3.PacketsPerSec != 2461503 {
+		t.Errorf("fig3 packets/sec = %g, want 2461503", fig3.PacketsPerSec)
+	}
+
+	// GOMAXPROCS suffix stripped, sub-benchmark path kept.
+	if got := benches[1].Name; got != "BenchmarkScheduler/wtp" {
+		t.Errorf("name = %q, want BenchmarkScheduler/wtp", got)
+	}
+	if benches[1].NsPerOp != 44.30 {
+		t.Errorf("wtp ns/op = %g, want 44.30", benches[1].NsPerOp)
+	}
+
+	// Zero-alloc line parses with exact zeros.
+	if benches[2].AllocsPerOp != 0 || benches[2].BytesPerOp != 6 {
+		t.Errorf("pool values = %+v", benches[2])
+	}
+
+	// A line without -benchmem stats still parses.
+	if benches[3].Name != "BenchmarkNoMem" || benches[3].NsPerOp != 120 {
+		t.Errorf("nomem = %+v", benches[3])
+	}
+	if benches[3].AllocsPerOp != 0 || benches[3].PacketsPerSec != 0 {
+		t.Errorf("nomem extras = %+v", benches[3])
+	}
+}
+
+func TestParseBenchSkipsNoise(t *testing.T) {
+	noise := `# some build output
+?   	pdds/internal/core	[no test files]
+--- BENCH: BenchmarkX
+    bench_test.go:10: log line
+Benchmark		garbage
+PASS
+`
+	benches, err := ParseBench(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(benches))
+	}
+}
+
+func TestParseBenchRoundTripDeltas(t *testing.T) {
+	if got := pctDelta(100, 110); got != "+10.0%" {
+		t.Errorf("pctDelta(100,110) = %q", got)
+	}
+	if got := pctDelta(0, 5); got != "n/a" {
+		t.Errorf("pctDelta(0,5) = %q", got)
+	}
+	if got := absDelta(3, 0); got != "-3" {
+		t.Errorf("absDelta(3,0) = %q", got)
+	}
+}

@@ -31,11 +31,18 @@ import (
 // runReport is the machine-readable summary written as report.json next
 // to the TSVs when -out is used.
 type runReport struct {
-	Tool        string           `json:"tool"`
-	GoVersion   string           `json:"go_version"`
-	Scale       string           `json:"scale"`
-	StartedAt   time.Time        `json:"started_at"`
-	DurationSec float64          `json:"duration_sec"`
+	Tool      string    `json:"tool"`
+	GoVersion string    `json:"go_version"`
+	Scale     string    `json:"scale"`
+	StartedAt time.Time `json:"started_at"`
+	// Parallelism is the worker-pool width simulation runs were fanned
+	// out over (the -parallel flag).
+	Parallelism int     `json:"parallelism"`
+	DurationSec float64 `json:"duration_sec"`
+	// Runs and Packets total the simulation runs executed and simulated
+	// packets completed across all experiments.
+	Runs        uint64           `json:"runs"`
+	Packets     uint64           `json:"packets"`
 	Experiments []experimentStat `json:"experiments"`
 }
 
@@ -43,6 +50,10 @@ type experimentStat struct {
 	Name        string  `json:"name"`
 	File        string  `json:"file,omitempty"`
 	DurationSec float64 `json:"duration_sec"`
+	// Runs and Packets count this experiment's simulation runs and
+	// completed packets.
+	Runs    uint64 `json:"runs"`
+	Packets uint64 `json:"packets"`
 }
 
 var allExperiments = []string{
@@ -59,8 +70,10 @@ func main() {
 		scaleStr = flag.String("scale", "full", "run scale: full|quick|bench")
 		outDir   = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
 		plot     = flag.Bool("plot", false, "append a terminal plot to fig1a/fig1b/moderate output (re-runs the experiment; deterministic)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulation runs executing concurrently (results are identical at any value)")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	var scale experiments.Scale
 	switch *scaleStr {
@@ -79,14 +92,16 @@ func main() {
 		names = allExperiments
 	}
 	report := runReport{
-		Tool:      "pdexp",
-		GoVersion: runtime.Version(),
-		Scale:     *scaleStr,
-		StartedAt: time.Now(),
+		Tool:        "pdexp",
+		GoVersion:   runtime.Version(),
+		Scale:       *scaleStr,
+		StartedAt:   time.Now(),
+		Parallelism: experiments.Parallelism(),
 	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		start := time.Now()
+		experiments.ResetCounters()
 		var out io.Writer = os.Stdout
 		var file *os.File
 		if *outDir != "" {
@@ -117,15 +132,26 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		stat := experimentStat{Name: name, DurationSec: time.Since(start).Seconds()}
+		stat := experimentStat{
+			Name:        name,
+			DurationSec: time.Since(start).Seconds(),
+			Runs:        experiments.RunCount(),
+			Packets:     experiments.PacketCount(),
+		}
 		if file != nil {
 			stat.File = filepath.Base(file.Name())
 		}
 		report.Experiments = append(report.Experiments, stat)
-		fmt.Fprintf(os.Stderr, "pdexp: %s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+		report.Runs += stat.Runs
+		report.Packets += stat.Packets
+		fmt.Fprintf(os.Stderr, "pdexp: %s done in %s (%d runs, %d packets)\n",
+			name, time.Since(start).Round(time.Millisecond), stat.Runs, stat.Packets)
 	}
+	report.DurationSec = time.Since(report.StartedAt).Seconds()
+	fmt.Fprintf(os.Stderr, "pdexp: total %d runs, %d packets in %s on %d workers\n",
+		report.Runs, report.Packets,
+		time.Since(report.StartedAt).Round(time.Millisecond), report.Parallelism)
 	if *outDir != "" {
-		report.DurationSec = time.Since(report.StartedAt).Seconds()
 		if err := writeReport(filepath.Join(*outDir, "report.json"), report); err != nil {
 			log.Fatal(err)
 		}

@@ -132,6 +132,9 @@ type Result struct {
 	// MeanCost is the average final class index + 1 (a proxy for
 	// tariffs that increase with class).
 	MeanCost float64
+	// Departed counts completed transmissions (users plus background),
+	// for throughput accounting.
+	Departed uint64
 }
 
 // user is the runtime state of an adaptive user.
@@ -287,7 +290,7 @@ func Run(cfg Config) (*Result, error) {
 
 	engine.RunUntil(cfg.Horizon)
 
-	res := &Result{ClassOccupancy: make([]int, n)}
+	res := &Result{ClassOccupancy: make([]int, n), Departed: l.Departed()}
 	var cost float64
 	for _, u := range users {
 		ur := UserResult{

@@ -230,6 +230,10 @@ func RunScheduler(sched core.Scheduler, sc Scenario, opts Opts) (*Result, error)
 	}
 	checker := NewChecker(sched, opts.Observers...)
 	l := link.New(engine, sc.linkRate(), checker)
+	// Use the pooled hot path here too, so packet recycling runs under
+	// the full invariant checks and the golden traces pin its behavior.
+	pool := core.NewPacketPool()
+	l.Pool = pool
 
 	var tr *traceRecorder
 	if opts.TraceWriter != nil {
@@ -247,6 +251,9 @@ func RunScheduler(sched core.Scheduler, sc Scenario, opts Opts) (*Result, error)
 	sources, err := sc.Load.Build(sc.linkRate(), sc.Seed)
 	if err != nil {
 		return nil, err
+	}
+	for _, s := range sources {
+		s.Pool = pool
 	}
 	var generated uint64
 	traffic.StartAll(engine, sources, func(p *core.Packet) {

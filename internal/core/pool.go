@@ -1,0 +1,86 @@
+package core
+
+// PacketPool is a per-run free list of Packet objects. Sources draw from it
+// on emission and the terminal consumer of a packet (the link on departure
+// or drop, or a multi-hop harness at the packet's exit point) returns it,
+// so the steady-state per-packet hot path performs no heap allocation.
+//
+// Lifetime rules (see DESIGN.md §3c):
+//
+//   - A packet obtained from Get is owned by whoever holds it; ownership
+//     moves with the packet (source → scheduler → link → OnDepart/OnDrop).
+//   - Exactly one component — the terminal sink — may Put a packet back,
+//     and only after every observer callback for that packet has returned.
+//   - Observers and OnDepart/OnDrop callbacks must copy out any field they
+//     need; retaining a *Packet past the callback is a use-after-recycle.
+//
+// A nil *PacketPool is valid and simply allocates on Get and discards on
+// Put, so call sites thread an optional pool without branching.
+//
+// PacketPool is not safe for concurrent use; like the schedulers and the
+// engine it is confined to one simulation run. Independent parallel runs
+// each own a private pool.
+type PacketPool struct {
+	free []*Packet
+	// allocated counts Get calls that hit the allocator; recycled counts
+	// Get calls served from the free list.
+	allocated uint64
+	recycled  uint64
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// Get returns a zeroed packet, recycling a previously Put one when
+// available. A nil pool allocates.
+func (pl *PacketPool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{}
+		pl.recycled++
+		return p
+	}
+	pl.allocated++
+	return &Packet{}
+}
+
+// Put returns p to the free list. The caller must not touch p afterwards.
+// A nil pool (or nil packet) is a no-op.
+func (pl *PacketPool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	// Drop the payload reference eagerly so pooled packets never pin
+	// datagram buffers across runs.
+	p.Payload = nil
+	pl.free = append(pl.free, p)
+}
+
+// Allocated returns how many Get calls were served by the allocator.
+func (pl *PacketPool) Allocated() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.allocated
+}
+
+// Recycled returns how many Get calls were served from the free list.
+func (pl *PacketPool) Recycled() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.recycled
+}
+
+// Free returns the current free-list depth.
+func (pl *PacketPool) Free() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.free)
+}

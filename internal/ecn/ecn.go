@@ -141,6 +141,9 @@ type Result struct {
 	Utilization float64
 	// Dropped counts buffer losses (the regime's failure metric).
 	Dropped uint64
+	// Departed counts completed transmissions over the whole run, for
+	// throughput accounting.
+	Departed uint64
 	// MarkFraction is the fraction of departures marked.
 	MarkFraction float64
 	// Delays holds post-warm-up per-class queueing delays.
@@ -236,6 +239,7 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{
 		Utilization:  l.Utilization(),
 		Dropped:      l.Dropped(),
+		Departed:     l.Departed(),
 		MarkFraction: marker.MarkFraction(),
 		Delays:       delays,
 		FinalRates:   append([]float64(nil), rates...),

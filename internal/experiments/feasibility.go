@@ -26,37 +26,24 @@ type FeasibilityPoint struct {
 // sweep and every Figure 2 distribution is checked against the
 // Coffman–Mitrani conditions for both SDP sets.
 func Feasibility(scale Scale) ([]FeasibilityPoint, error) {
-	var out []FeasibilityPoint
 	type ddpSet struct {
 		ratio float64
 		sdp   []float64
 	}
 	sets := []ddpSet{{2, PaperSDPx2}, {4, PaperSDPx4}}
 
-	check := func(label string, load traffic.LoadSpec, set ddpSet) error {
-		tr, err := traffic.Record(load, link.PaperLinkRate, scale.FeasHorizon, BaseSeed)
-		if err != nil {
-			return err
-		}
-		rep, err := model.CheckDDPs(tr, link.PaperLinkRate, model.DDPsFromSDPs(set.sdp))
-		if err != nil {
-			return err
-		}
-		out = append(out, FeasibilityPoint{
-			Label:            label,
-			SDPRatio:         set.ratio,
-			Feasible:         rep.Feasible(),
-			WorstSlack:       rep.WorstSlack(),
-			AggregateDelayPU: rep.AggregateDelay / link.PUnit,
-		})
-		return nil
+	// Enumerate every operating point up front, then fan the checks out
+	// over the shared worker pool; results land in job order, so the table
+	// is identical to the former serial sweep.
+	type job struct {
+		label string
+		load  traffic.LoadSpec
+		set   ddpSet
 	}
-
+	var jobs []job
 	for _, rho := range Utilizations {
 		for _, set := range sets {
-			if err := check(fmt.Sprintf("fig1 rho=%.3f", rho), traffic.PaperLoad(rho), set); err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job{fmt.Sprintf("fig1 rho=%.3f", rho), traffic.PaperLoad(rho), set})
 		}
 	}
 	for _, fractions := range Fig2Distributions {
@@ -69,10 +56,33 @@ func Feasibility(scale Scale) ([]FeasibilityPoint, error) {
 		label := fmt.Sprintf("fig2 %.0f/%.0f/%.0f/%.0f",
 			fractions[0]*100, fractions[1]*100, fractions[2]*100, fractions[3]*100)
 		for _, set := range sets {
-			if err := check(label, load, set); err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job{label, load, set})
 		}
+	}
+
+	out := make([]FeasibilityPoint, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		tr, err := traffic.Record(j.load, link.PaperLinkRate, scale.FeasHorizon, BaseSeed)
+		if err != nil {
+			return fmt.Errorf("%s sdp_ratio=%.0f: %w", j.label, j.set.ratio, err)
+		}
+		rep, err := model.CheckDDPs(tr, link.PaperLinkRate, model.DDPsFromSDPs(j.set.sdp))
+		if err != nil {
+			return fmt.Errorf("%s sdp_ratio=%.0f: %w", j.label, j.set.ratio, err)
+		}
+		countRun(uint64(len(tr.Arrivals)))
+		out[i] = FeasibilityPoint{
+			Label:            j.label,
+			SDPRatio:         j.set.ratio,
+			Feasible:         rep.Feasible(),
+			WorstSlack:       rep.WorstSlack(),
+			AggregateDelayPU: rep.AggregateDelay / link.PUnit,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"pdds/internal/core"
 	"pdds/internal/link"
@@ -26,40 +25,32 @@ type Fig1Point struct {
 
 // runAveraged merges per-class delays over scale.Seeds independent runs of
 // the given configuration (the paper's "averaging over ten simulation runs
-// with different seeds"). Seeds run on separate goroutines — each run is an
-// isolated deterministic simulation — and are merged in seed order, so the
-// result is identical to a serial sweep.
+// with different seeds"). Seeds run on the shared bounded worker pool —
+// each run is an isolated deterministic simulation — and are merged in
+// seed order, so the result is identical to a serial sweep.
 func runAveraged(kind core.Kind, sdp []float64, load traffic.LoadSpec, scale Scale) (*stats.ClassDelays, error) {
 	results := make([]*stats.ClassDelays, scale.Seeds)
-	errs := make([]error, scale.Seeds)
-	var wg sync.WaitGroup
-	for s := 0; s < scale.Seeds; s++ {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res, err := link.Run(link.RunConfig{
-				Kind:    kind,
-				SDP:     sdp,
-				Load:    load,
-				Horizon: scale.Horizon,
-				Warmup:  scale.Warmup,
-				Seed:    BaseSeed + uint64(s),
-			})
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			results[s] = res.Delays
-		}()
-	}
-	wg.Wait()
-	merged := stats.NewClassDelays(len(sdp))
-	for s := 0; s < scale.Seeds; s++ {
-		if errs[s] != nil {
-			return nil, errs[s]
+	err := forEach(scale.Seeds, func(s int) error {
+		res, err := runLink(link.RunConfig{
+			Kind:    kind,
+			SDP:     sdp,
+			Load:    load,
+			Horizon: scale.Horizon,
+			Warmup:  scale.Warmup,
+			Seed:    BaseSeed + uint64(s),
+		})
+		if err != nil {
+			return seedErr(s, err)
 		}
-		merged.Merge(results[s])
+		results[s] = res.Delays
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := stats.NewClassDelays(len(sdp))
+	for _, r := range results {
+		merged.Merge(r)
 	}
 	return merged, nil
 }

@@ -38,11 +38,13 @@ func Fig3(sdp []float64, scale Scale) ([]Fig3Point, error) {
 		for i, tau := range Fig3Taus {
 			trackers[i] = stats.NewIntervalRD(tau*link.PUnit, len(sdp))
 		}
-		for s := 0; s < scale.Seeds; s++ {
-			// Fresh trackers per seed would reset interval
-			// alignment; instead pool by observing every seed's
-			// departures into per-seed trackers and merging the
-			// samples.
+		// Seeds run on the shared bounded worker pool, each observing its
+		// departures into private per-seed trackers (fresh trackers per
+		// seed, because sharing one would reset interval alignment).
+		// Samples are pooled in seed order afterwards, so the percentiles
+		// are identical to a serial sweep.
+		perSeed := make([][]*stats.IntervalRD, scale.Seeds)
+		err := forEach(scale.Seeds, func(s int) error {
 			seedTrackers := make([]*stats.IntervalRD, len(Fig3Taus))
 			observers := make([]func(*core.Packet), len(Fig3Taus))
 			for i, tau := range Fig3Taus {
@@ -54,7 +56,7 @@ func Fig3(sdp []float64, scale Scale) ([]Fig3Point, error) {
 					}
 				}
 			}
-			_, err := link.Run(link.RunConfig{
+			_, err := runLink(link.RunConfig{
 				Kind:      kind,
 				SDP:       sdp,
 				Load:      traffic.PaperLoad(Fig3Rho),
@@ -64,8 +66,15 @@ func Fig3(sdp []float64, scale Scale) ([]Fig3Point, error) {
 				Observers: observers,
 			})
 			if err != nil {
-				return nil, err
+				return seedErr(s, err)
 			}
+			perSeed[s] = seedTrackers
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, seedTrackers := range perSeed {
 			for i, st := range seedTrackers {
 				st.Finish()
 				// Pool this seed's R_D values.

@@ -31,21 +31,34 @@ type HPDGPoint struct {
 // HPDGs are the swept mixing factors.
 var HPDGs = []float64{0, 0.25, 0.5, 0.75, 0.875, 1}
 
-// HPDG runs the sweep.
+// HPDG runs the sweep: the two scores of every mixing factor are
+// independent runs, fanned out over the shared worker pool as a flat
+// (g, score) job list and reduced in g order.
 func HPDG(scale Scale) ([]HPDGPoint, error) {
-	var out []HPDGPoint
-	for _, g := range HPDGs {
-		// Long-term accuracy at moderate load.
-		longErr, err := hpdLongTermErr(g, scale)
-		if err != nil {
-			return nil, err
+	longErrs := make([]float64, len(HPDGs))
+	spreads := make([]float64, len(HPDGs))
+	err := forEach(2*len(HPDGs), func(i int) error {
+		gi, which := i/2, i%2
+		g := HPDGs[gi]
+		var err error
+		if which == 0 {
+			// Long-term accuracy at moderate load.
+			longErrs[gi], err = hpdLongTermErr(g, scale)
+		} else {
+			// Short-timescale spread at heavy load.
+			spreads[gi], err = hpdShortSpread(g, scale)
 		}
-		// Short-timescale spread at heavy load.
-		spread, err := hpdShortSpread(g, scale)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("g=%.3f: %w", g, err)
 		}
-		out = append(out, HPDGPoint{G: g, LongTermErr: longErr, ShortSpread: spread})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HPDGPoint, len(HPDGs))
+	for gi, g := range HPDGs {
+		out[gi] = HPDGPoint{G: g, LongTermErr: longErrs[gi], ShortSpread: spreads[gi]}
 	}
 	return out, nil
 }
@@ -98,7 +111,7 @@ func hpdShortSpread(g float64, scale Scale) (float64, error) {
 // counterpart of link.Run for schedulers that need non-default
 // construction).
 func runCustom(sched core.Scheduler, rho, horizon, warmup float64, observers []func(*core.Packet)) (*stats.ClassDelays, error) {
-	res, err := link.RunWithScheduler(sched, link.RunConfig{
+	res, err := runLinkWith(sched, link.RunConfig{
 		Kind:      core.KindHPD, // informational; scheduler overrides
 		SDP:       PaperSDPx2,
 		Load:      traffic.PaperLoad(rho),

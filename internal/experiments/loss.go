@@ -51,17 +51,34 @@ var lossRhos = []float64{1.05, 1.20}
 // overloaded WTP link with a finite shared buffer and the PLR push-out
 // dropper.
 func Loss(scale Scale) ([]LossPoint, error) {
-	var out []LossPoint
+	// Flatten the (buffer, rho, policy) sweep into one job list for the
+	// shared worker pool; results are indexed, so ordering matches the
+	// former serial triple loop exactly.
+	type combo struct {
+		buffer int
+		rho    float64
+		policy string
+	}
+	var combos []combo
 	for _, buffer := range lossBuffers {
 		for _, rho := range lossRhos {
 			for _, policy := range []string{"plr", "strict"} {
-				point, err := lossRun(scale, policy, rho, buffer)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, *point)
+				combos = append(combos, combo{buffer, rho, policy})
 			}
 		}
+	}
+	out := make([]LossPoint, len(combos))
+	err := forEach(len(combos), func(i int) error {
+		c := combos[i]
+		point, err := lossRun(scale, c.policy, c.rho, c.buffer)
+		if err != nil {
+			return fmt.Errorf("policy=%s rho=%.2f buffer=%d: %w", c.policy, c.rho, c.buffer, err)
+		}
+		out[i] = *point
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -81,7 +98,7 @@ func lossRun(scale Scale, policy string, rho float64, buffer int) (*LossPoint, e
 	default:
 		return nil, fmt.Errorf("experiments: unknown drop policy %q", policy)
 	}
-	res, err := link.Run(link.RunConfig{
+	res, err := runLink(link.RunConfig{
 		Kind: core.KindWTP,
 		SDP:  PaperSDPx2,
 		Load: traffic.LoadSpec{

@@ -64,7 +64,7 @@ func Micro(kind core.Kind, scale Scale) (*MicroResult, error) {
 		Sizes:     traffic.PaperSizes(),
 		Alpha:     1.9,
 	}
-	res, err := link.Run(link.RunConfig{
+	res, err := runLink(link.RunConfig{
 		Kind:      kind,
 		SDP:       MicroSDP,
 		Load:      load,

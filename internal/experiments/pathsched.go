@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"pdds/internal/core"
 	"pdds/internal/network"
@@ -35,50 +34,45 @@ var PathSchedulers = []core.Kind{core.KindWTP, core.KindBPR, core.KindPAD, core.
 // PathSched runs the K=4, ρ=0.95, F=10, R_u=50 Study B cell under each
 // scheduler, seeds pooled.
 func PathSched(scale Scale) ([]PathSchedPoint, error) {
-	type out struct {
-		res *network.Result
-		err error
-	}
-	results := make([][]out, len(PathSchedulers))
-	var wg sync.WaitGroup
-	for ki, kind := range PathSchedulers {
-		results[ki] = make([]out, scale.StudyBSeeds)
-		for s := 0; s < scale.StudyBSeeds; s++ {
-			ki, s, kind := ki, s, kind
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				res, err := network.Run(network.Config{
-					Hops:        4,
-					Rho:         0.95,
-					SDP:         PaperSDPx2,
-					Scheduler:   kind,
-					FlowPackets: 10,
-					FlowKbps:    50,
-					Experiments: scale.StudyBExperiments,
-					WarmupSec:   scale.StudyBWarmup,
-					Seed:        BaseSeed + uint64(s),
-				})
-				results[ki][s] = out{res, err}
-			}()
+	// Flatten the (scheduler, seed) grid into one job list for the shared
+	// bounded worker pool; reduction walks it in (scheduler, seed) order.
+	nSeeds := scale.StudyBSeeds
+	results := make([]*network.Result, len(PathSchedulers)*nSeeds)
+	err := forEach(len(results), func(i int) error {
+		ki, s := i/nSeeds, i%nSeeds
+		res, err := runNetwork(network.Config{
+			Hops:        4,
+			Rho:         0.95,
+			SDP:         PaperSDPx2,
+			Scheduler:   PathSchedulers[ki],
+			FlowPackets: 10,
+			FlowKbps:    50,
+			Experiments: scale.StudyBExperiments,
+			WarmupSec:   scale.StudyBWarmup,
+			Seed:        BaseSeed + uint64(s),
+		})
+		if err != nil {
+			return fmt.Errorf("%s seed %d (index %d): %w",
+				PathSchedulers[ki], BaseSeed+uint64(s), s, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	var points []PathSchedPoint
 	for ki, kind := range PathSchedulers {
 		p := PathSchedPoint{Scheduler: kind}
 		var meanSums []float64
-		for _, r := range results[ki] {
-			if r.err != nil {
-				return nil, fmt.Errorf("%s: %w", kind, r.err)
-			}
-			p.RD += r.res.RD
-			p.Inconsistent += r.res.Inconsistent
-			p.Material += r.res.InconsistentMaterial
+		for _, r := range results[ki*nSeeds : (ki+1)*nSeeds] {
+			p.RD += r.RD
+			p.Inconsistent += r.Inconsistent
+			p.Material += r.InconsistentMaterial
 			if meanSums == nil {
-				meanSums = make([]float64, len(r.res.MeanE2E))
+				meanSums = make([]float64, len(r.MeanE2E))
 			}
-			for c, d := range r.res.MeanE2E {
+			for c, d := range r.MeanE2E {
 				meanSums[c] += d
 			}
 		}

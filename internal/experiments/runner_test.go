@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/traffic"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int64
+	if err := forEach(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("index %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestForEachErrorsInIndexOrder(t *testing.T) {
+	// Errors must join in index order regardless of completion order, and
+	// every index must still run even when earlier ones fail.
+	var ran atomic.Int64
+	err := forEach(10, func(i int) error {
+		ran.Add(1)
+		if i == 7 || i == 2 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("forEach: want error, got nil")
+	}
+	if got := ran.Load(); got != 10 {
+		t.Errorf("ran %d jobs, want 10 (failures must not cancel siblings)", got)
+	}
+	msg := err.Error()
+	i2, i7 := strings.Index(msg, "job 2 failed"), strings.Index(msg, "job 7 failed")
+	if i2 < 0 || i7 < 0 {
+		t.Fatalf("error %q missing a per-job message", msg)
+	}
+	if i2 > i7 {
+		t.Errorf("error %q lists job 7 before job 2; want index order", msg)
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	SetParallelism(3)
+	defer SetParallelism(0)
+	var inFlight, peak atomic.Int64
+	if err := forEach(50, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Errorf("observed %d concurrent jobs, want <= 3", got)
+	}
+}
+
+func TestForEachZeroAndSerial(t *testing.T) {
+	if err := forEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("forEach(0): %v", err)
+	}
+	SetParallelism(1)
+	defer SetParallelism(0)
+	order := make([]int, 0, 5)
+	if err := forEach(5, func(i int) error {
+		order = append(order, i) // safe: serial path runs on this goroutine
+		return nil
+	}); err != nil {
+		t.Fatalf("forEach: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v, want ascending", order)
+		}
+	}
+}
+
+func TestParallelismDefault(t *testing.T) {
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", got)
+	}
+	SetParallelism(7)
+	defer SetParallelism(0)
+	if got := Parallelism(); got != 7 {
+		t.Fatalf("Parallelism() = %d, want 7", got)
+	}
+}
+
+func TestRunCountersAccumulate(t *testing.T) {
+	ResetCounters()
+	res, err := runLink(link.RunConfig{
+		Kind:    core.KindWTP,
+		SDP:     PaperSDPx2,
+		Load:    traffic.PaperLoad(0.8),
+		Horizon: 5000,
+		Seed:    BaseSeed,
+	})
+	if err != nil {
+		t.Fatalf("runLink: %v", err)
+	}
+	if got := RunCount(); got != 1 {
+		t.Errorf("RunCount() = %d, want 1", got)
+	}
+	if got := PacketCount(); got != res.Departed {
+		t.Errorf("PacketCount() = %d, want %d departed", got, res.Departed)
+	}
+	ResetCounters()
+	if RunCount() != 0 || PacketCount() != 0 {
+		t.Error("ResetCounters did not zero the counters")
+	}
+}
+
+// TestRunAveragedDeterministicAcrossParallelism is the runner's core
+// contract: the merged statistics are bit-identical no matter how many
+// workers execute the seeds.
+func TestRunAveragedDeterministicAcrossParallelism(t *testing.T) {
+	scale := Scale{Seeds: 4, Horizon: 20000, Warmup: 2000}
+	run := func(par int) []float64 {
+		SetParallelism(par)
+		defer SetParallelism(0)
+		delays, err := runAveraged(core.KindWTP, PaperSDPx2, traffic.PaperLoad(0.9), scale)
+		if err != nil {
+			t.Fatalf("runAveraged(par=%d): %v", par, err)
+		}
+		out := make([]float64, len(PaperSDPx2))
+		for c := range out {
+			out[c] = delays.Mean(c)
+		}
+		return out
+	}
+	serial := run(1)
+	wide := run(8)
+	for c := range serial {
+		if serial[c] != wide[c] {
+			t.Errorf("class %d mean delay differs: serial=%v parallel=%v", c, serial[c], wide[c])
+		}
+	}
+}
+
+func TestRunAveragedReportsSeedInError(t *testing.T) {
+	// An invalid config fails every seed; the error must name each seed.
+	_, err := runAveraged(core.KindWTP, PaperSDPx2, traffic.PaperLoad(0.9),
+		Scale{Seeds: 2, Horizon: -1})
+	if err == nil {
+		t.Fatal("want error for negative horizon")
+	}
+	for s := 0; s < 2; s++ {
+		want := fmt.Sprintf("seed %d (index %d)", BaseSeed+uint64(s), s)
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestForEachRaceStress hammers the work-stealing index from many workers;
+// meaningful mostly under -race.
+func TestForEachRaceStress(t *testing.T) {
+	SetParallelism(16)
+	defer SetParallelism(0)
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	if err := forEach(500, func(i int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[i] {
+			return fmt.Errorf("index %d dispatched twice", i)
+		}
+		seen[i] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 500 {
+		t.Fatalf("dispatched %d unique indices, want 500", len(seen))
+	}
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"pdds/internal/network"
 )
@@ -45,61 +44,47 @@ var (
 
 // Table1 reproduces Table 1: Study B across all 16 parameter combinations.
 func Table1(scale Scale) ([]Table1Cell, error) {
-	// Every (cell, seed) run is independent; fan all of them out and
-	// reduce in deterministic order.
-	type cellKey struct{ row, col int }
-	type runOut struct {
-		res *network.Result
-		err error
-	}
-	// Populate the map fully before any worker starts: goroutines read
-	// runs[key] concurrently, and a map being assigned to is not safe to
-	// read (caught by `make race`).
-	runs := make(map[cellKey][]runOut)
-	for ri := range Table1Rows {
-		for ci := range Table1Cols {
-			runs[cellKey{ri, ci}] = make([]runOut, scale.StudyBSeeds)
+	// Every (cell, seed) run is independent: flatten them into one job
+	// list for the shared bounded worker pool and reduce in deterministic
+	// (row, col, seed) order.
+	nSeeds := scale.StudyBSeeds
+	nJobs := len(Table1Rows) * len(Table1Cols) * nSeeds
+	results := make([]*network.Result, nJobs)
+	err := forEach(nJobs, func(i int) error {
+		s := i % nSeeds
+		ci := (i / nSeeds) % len(Table1Cols)
+		ri := i / (nSeeds * len(Table1Cols))
+		row, col := Table1Rows[ri], Table1Cols[ci]
+		res, err := runNetwork(network.Config{
+			Hops:        row.Hops,
+			Rho:         row.Rho,
+			SDP:         PaperSDPx2,
+			FlowPackets: col.Packets,
+			FlowKbps:    col.Kbps,
+			Experiments: scale.StudyBExperiments,
+			WarmupSec:   scale.StudyBWarmup,
+			Seed:        BaseSeed + uint64(s),
+		})
+		if err != nil {
+			return fmt.Errorf("K=%d rho=%.2f F=%d Ru=%g seed %d (index %d): %w",
+				row.Hops, row.Rho, col.Packets, col.Kbps, BaseSeed+uint64(s), s, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	for ri, row := range Table1Rows {
-		for ci, col := range Table1Cols {
-			for s := 0; s < scale.StudyBSeeds; s++ {
-				ri, ci, s := ri, ci, s
-				row, col := row, col
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					res, err := network.Run(network.Config{
-						Hops:        row.Hops,
-						Rho:         row.Rho,
-						SDP:         PaperSDPx2,
-						FlowPackets: col.Packets,
-						FlowKbps:    col.Kbps,
-						Experiments: scale.StudyBExperiments,
-						WarmupSec:   scale.StudyBWarmup,
-						Seed:        BaseSeed + uint64(s),
-					})
-					// Each (cell, seed) writes its own slice element;
-					// wg.Wait orders them before the reduction below.
-					runs[cellKey{ri, ci}][s] = runOut{res, err}
-				}()
-			}
-		}
-	}
-	wg.Wait()
 	var out []Table1Cell
 	for ri, row := range Table1Rows {
 		for ci, col := range Table1Cols {
 			var rdSum float64
 			var inconsistent, material int
-			for _, r := range runs[cellKey{ri, ci}] {
-				if r.err != nil {
-					return nil, r.err
-				}
-				rdSum += r.res.RD
-				inconsistent += r.res.Inconsistent
-				material += r.res.InconsistentMaterial
+			base := (ri*len(Table1Cols) + ci) * nSeeds
+			for _, r := range results[base : base+nSeeds] {
+				rdSum += r.RD
+				inconsistent += r.Inconsistent
+				material += r.InconsistentMaterial
 			}
 			out = append(out, Table1Cell{
 				FlowPackets:  col.Packets,

@@ -41,12 +41,22 @@ type Link struct {
 	// branch when unset.
 	Telemetry *telemetry.Registry
 
+	// Pool, if set, receives every packet this link terminates — after
+	// OnDepart returns for departures, after OnDrop returns for drops —
+	// so the per-packet hot path recycles instead of allocating. Set it
+	// only when this link is the packet's last stop: multi-hop harnesses
+	// that forward packets onward from OnDepart must leave it nil and
+	// recycle at the path's exit points instead. Callbacks must not
+	// retain the *Packet (see core.PacketPool).
+	Pool *core.PacketPool
+
 	busy      bool
 	busySince float64
 	busyTime  float64
 	departed  uint64
 	dropped   uint64
 	txBytes   int64
+	inflight  *core.Packet
 }
 
 // New returns a link on the engine with the given rate (bytes per time
@@ -150,10 +160,20 @@ func (l *Link) drop(p *core.Packet) {
 	if l.OnDrop != nil {
 		l.OnDrop(victim)
 	}
-	if victim != p && !l.busy {
+	wasVictimArriving := victim == p
+	if l.Pool != nil {
+		l.Pool.Put(victim)
+	}
+	if !wasVictimArriving && !l.busy {
 		l.startService()
 	}
 }
+
+// linkFinish is the shared transmission-completion event body: a
+// package-level func with the *Link as argument, so completing a packet
+// schedules no closure (see sim.AtFunc). A link transmits at most one
+// packet at a time, so the in-flight packet lives in the Link itself.
+func linkFinish(arg any) { arg.(*Link).finish() }
 
 func (l *Link) startService() {
 	now := l.engine.Now()
@@ -164,11 +184,14 @@ func (l *Link) startService() {
 	l.busy = true
 	l.busySince = now
 	p.Start = now
+	l.inflight = p
 	txTime := float64(p.Size) / l.rate
-	l.engine.After(txTime, func() { l.finish(p) })
+	l.engine.AfterFunc(txTime, linkFinish, l)
 }
 
-func (l *Link) finish(p *core.Packet) {
+func (l *Link) finish() {
+	p := l.inflight
+	l.inflight = nil
 	now := l.engine.Now()
 	p.Departure = now
 	p.QueueingDelay += p.Wait()
@@ -182,6 +205,9 @@ func (l *Link) finish(p *core.Packet) {
 	}
 	if l.OnDepart != nil {
 		l.OnDepart(p)
+	}
+	if l.Pool != nil {
+		l.Pool.Put(p)
 	}
 	if l.sched.Backlogged() {
 		l.startService()

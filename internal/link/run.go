@@ -36,7 +36,10 @@ type RunConfig struct {
 	// Seed drives all randomness in the run.
 	Seed uint64
 	// Observers see every departing packet (before warm-up filtering);
-	// used for interval trackers and series capture.
+	// used for interval trackers and series capture. Observers must copy
+	// out any fields they need and must not retain the *Packet: the run
+	// recycles packets through a per-run free list as soon as every
+	// observer has returned (see core.PacketPool).
 	Observers []func(*core.Packet)
 	// MaxPackets and Dropper configure the finite-buffer extension;
 	// zero/nil reproduces the paper's lossless model.
@@ -134,6 +137,10 @@ func runWith(sched core.Scheduler, cfg RunConfig) (*Result, error) {
 	l.MaxPackets = cfg.MaxPackets
 	l.Dropper = cfg.Dropper
 	l.Telemetry = cfg.Telemetry
+	// Per-run free list: the link is the terminal hop, so every departed
+	// or dropped packet is recycled back to the sources.
+	pool := core.NewPacketPool()
+	l.Pool = pool
 
 	delays := stats.NewClassDelays(len(cfg.SDP))
 	l.OnDepart = func(p *core.Packet) {
@@ -148,6 +155,9 @@ func runWith(sched core.Scheduler, cfg RunConfig) (*Result, error) {
 	sources, err := cfg.Load.Build(cfg.LinkRate, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	for _, s := range sources {
+		s.Pool = pool
 	}
 	var generated uint64
 	traffic.StartAll(engine, sources, func(p *core.Packet) {

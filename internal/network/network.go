@@ -172,6 +172,12 @@ func Run(cfg Config) (*Result, error) {
 	var crossServed uint64
 	res := &Result{MeanE2E: make([]float64, n)}
 
+	// Per-run free list shared by cross-traffic sources and user flows.
+	// Links must NOT recycle (packets are forwarded hop to hop from
+	// OnDepart), so the exit points below return packets instead: cross
+	// traffic after its single hop, user packets at final delivery.
+	pool := core.NewPacketPool()
+
 	// Delivered user packets are recorded against their flow.
 	flowIndex := make(map[uint64]*FlowStats)
 	var delivered, expected int
@@ -196,6 +202,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if p.Flow == 0 {
 				crossServed++ // cross-traffic exits after its hop
+				pool.Put(p)
 				return
 			}
 			if h+1 < cfg.Hops {
@@ -207,6 +214,7 @@ func Run(cfg Config) (*Result, error) {
 				fs.Delays.Add(p.QueueingDelay)
 				delivered++
 			}
+			pool.Put(p)
 		}
 	}
 
@@ -217,14 +225,16 @@ func Run(cfg Config) (*Result, error) {
 	for h := 0; h < cfg.Hops; h++ {
 		for s := 0; s < cfg.CrossSources; s++ {
 			src := &crossSource{
-				inter: traffic.NewPareto(cfg.Alpha, meanInter),
-				size:  cfg.PacketBytes,
-				mix:   cumulativeMix(n),
-				rng:   traffic.NewRNG(cfg.Seed, uint64(h*1000+s+1)),
-				sink:  links[h].Arrive,
-				id:    uint64(h*cfg.CrossSources+s+1) << 40,
+				engine: engine,
+				inter:  traffic.NewPareto(cfg.Alpha, meanInter),
+				size:   cfg.PacketBytes,
+				mix:    cumulativeMix(n),
+				rng:    traffic.NewRNG(cfg.Seed, uint64(h*1000+s+1)),
+				sink:   links[h].Arrive,
+				pool:   pool,
+				id:     uint64(h*cfg.CrossSources+s+1) << 40,
 			}
-			src.start(engine)
+			src.start()
 		}
 	}
 
@@ -243,7 +253,7 @@ func Run(cfg Config) (*Result, error) {
 				Size:    cfg.PacketBytes,
 				Rate:    flowRateBytes,
 			}
-			if err := traffic.ScheduleFlow(engine, spec, start, flowID, links[0].Arrive); err != nil {
+			if err := traffic.ScheduleFlowPool(engine, spec, start, flowID, links[0].Arrive, pool); err != nil {
 				return nil, err
 			}
 			expected += cfg.FlowPackets
@@ -344,23 +354,30 @@ func (r *Result) computeMetrics(n int) {
 }
 
 // crossSource emits fixed-size packets with Pareto interarrivals and a
-// random class per packet.
+// random class per packet. Packets come from the run's free list and
+// scheduling uses the closure-free AtFunc path, so steady-state emission
+// allocates nothing.
 type crossSource struct {
-	inter traffic.Pareto
-	size  int64
-	mix   []float64 // cumulative class probabilities
-	rng   *rand.Rand
-	sink  traffic.Sink
-	id    uint64
-	seq   uint64
+	engine *sim.Engine
+	inter  traffic.Pareto
+	size   int64
+	mix    []float64 // cumulative class probabilities
+	rng    *rand.Rand
+	sink   traffic.Sink
+	pool   *core.PacketPool
+	id     uint64
+	seq    uint64
 }
 
-func (s *crossSource) start(engine *sim.Engine) {
-	engine.After(s.inter.Next(s.rng), func() { s.emit(engine) })
+// crossEmit is the shared closure-free event body for cross-traffic.
+func crossEmit(arg any) { arg.(*crossSource).emit() }
+
+func (s *crossSource) start() {
+	s.engine.AfterFunc(s.inter.Next(s.rng), crossEmit, s)
 }
 
-func (s *crossSource) emit(engine *sim.Engine) {
-	now := engine.Now()
+func (s *crossSource) emit() {
+	now := s.engine.Now()
 	s.seq++
 	u := s.rng.Float64()
 	class := len(s.mix) - 1
@@ -370,14 +387,14 @@ func (s *crossSource) emit(engine *sim.Engine) {
 			break
 		}
 	}
-	s.sink(&core.Packet{
-		ID:      s.id + s.seq,
-		Class:   class,
-		Size:    s.size,
-		Arrival: now,
-		Birth:   now,
-	})
-	s.start(engine)
+	p := s.pool.Get()
+	p.ID = s.id + s.seq
+	p.Class = class
+	p.Size = s.size
+	p.Arrival = now
+	p.Birth = now
+	s.sink(p)
+	s.start()
 }
 
 // cumulativeMix adapts the 4-class paper mix to n classes: for n == 4 it

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// Pins the zero-allocation contract of the event hot path: with the node
+// free list warm, an AfterFunc+Step cycle must not touch the heap on
+// either queue backend.
+
+func nopBody(any) {}
+
+func testEngineZeroAllocs(t *testing.T, e *Engine) {
+	t.Helper()
+	// Warm pending set: staggered events keep the queue non-trivially
+	// populated so Push/Pop reorder real work, and the far-future spacing
+	// means none of them fire during the measured cycles.
+	for i := 0; i < 64; i++ {
+		e.AfterFunc(1e6+float64(i), nopBody, nil)
+	}
+	// Warm the node free list and any bucket/heap capacity.
+	for i := 0; i < 256; i++ {
+		e.AfterFunc(0.5, nopBody, nil)
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		e.AfterFunc(0.5, nopBody, nil)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AfterFunc+Step: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestEngineHeapZeroAllocs(t *testing.T) {
+	testEngineZeroAllocs(t, NewEngine())
+}
+
+func TestEngineCalendarZeroAllocs(t *testing.T) {
+	testEngineZeroAllocs(t, NewEngineCalendar())
+}

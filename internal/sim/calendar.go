@@ -101,7 +101,15 @@ func (c *calendarQueue) Pop() *Event {
 		return nil
 	}
 	i, ev := c.findMin()
-	c.buckets[i] = c.buckets[i][1:]
+	// Shift down in place rather than re-slicing the head off: a [1:]
+	// re-slice burns one slot of backing-array capacity per pop, forcing
+	// a reallocation every len(bucket) pops even at constant population.
+	// Buckets average at most two events, so the copy is cheap and the
+	// steady state allocates nothing.
+	lst := c.buckets[i]
+	copy(lst, lst[1:])
+	lst[len(lst)-1] = nil
+	c.buckets[i] = lst[:len(lst)-1]
 	c.size--
 	ev.index = -1
 	c.lastTime = ev.Time

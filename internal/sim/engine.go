@@ -16,11 +16,25 @@ import (
 )
 
 // Event is a unit of work executed at a simulated time instant.
+//
+// Event nodes are pooled: once an event fires (or is canceled) the engine
+// recycles its node for a later At/AtFunc call, so steady-state scheduling
+// performs no heap allocation. The handle returned by At is therefore valid
+// only while the event is pending — callers may pass it to Cancel before the
+// event fires, but must not retain or inspect it afterwards.
 type Event struct {
 	// Time is the absolute simulation time at which Run fires.
 	Time float64
 	// Run is the event body. It may schedule further events.
 	Run func()
+
+	// fn/arg are the closure-free form of Run used by AtFunc: fn is a
+	// shared (typically package-level) function and arg its single
+	// argument. Storing a pointer in an interface does not allocate, so
+	// hot paths that would otherwise box a fresh closure per event pass a
+	// static fn plus their receiver instead.
+	fn  func(arg any)
+	arg any
 
 	seq   uint64 // insertion sequence, breaks Time ties FIFO
 	index int    // heap index, or 0 if queued in a calendar; -1 once out
@@ -49,6 +63,9 @@ type Engine struct {
 	// Count of events executed so far; useful for progress accounting
 	// and as a cheap sanity check in tests.
 	executed uint64
+	// free is the event-node free list: fired and canceled nodes are
+	// recycled here so steady-state scheduling allocates nothing.
+	free []*Event
 }
 
 // NewEngine returns an engine backed by a binary heap, with the clock at
@@ -73,19 +90,49 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
-// At schedules fn to run at absolute time t and returns the event handle,
-// which may be passed to Cancel. Scheduling in the past (t < Now) panics:
-// it is always a logic error in a discrete-event model.
-func (e *Engine) At(t float64, fn func()) *Event {
+// schedule validates t, takes a node from the free list (or allocates one),
+// stamps its time and sequence, and inserts it into the queue. The caller
+// fills in the body (Run or fn/arg) afterwards; nothing executes until Step.
+func (e *Engine) schedule(t float64) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
 	}
-	ev := &Event{Time: t, Run: fn, seq: e.nextID}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.Time = t
+	ev.seq = e.nextID
 	e.nextID++
 	e.queue.Push(ev)
+	return ev
+}
+
+// release returns a node that left the queue (fired or canceled) to the
+// free list, clearing its body so recycled nodes never leak references.
+func (e *Engine) release(ev *Event) {
+	ev.Run, ev.fn, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute time t and returns the event handle,
+// which may be passed to Cancel while the event is pending. Scheduling in
+// the past (t < Now) panics: it is always a logic error in a discrete-event
+// model.
+//
+// The fn closure is allocated by the caller; per-event hot paths should use
+// AtFunc, which takes a shared function plus one pointer argument and
+// allocates nothing.
+func (e *Engine) At(t float64, fn func()) *Event {
+	ev := e.schedule(t)
+	ev.Run = fn
 	return ev
 }
 
@@ -94,14 +141,33 @@ func (e *Engine) After(d float64, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
+// AtFunc schedules fn(arg) to run at absolute time t. Unlike At it boxes no
+// closure: with a package-level fn and a pointer-typed arg the call is
+// allocation-free, which is what the per-packet paths (source emission,
+// link transmission completion) use.
+func (e *Engine) AtFunc(t float64, fn func(arg any), arg any) *Event {
+	ev := e.schedule(t)
+	ev.fn = fn
+	ev.arg = arg
+	return ev
+}
+
+// AfterFunc schedules fn(arg) to run d time units from now; see AtFunc.
+func (e *Engine) AfterFunc(d float64, fn func(arg any), arg any) *Event {
+	return e.AtFunc(e.now+d, fn, arg)
+}
+
 // Cancel removes a pending event so it will never run. Canceling an event
-// that already fired (or was already canceled) is a no-op.
+// that already fired (or was already canceled) is a no-op, but the handle
+// must not be retained past the event's scheduled time: the engine recycles
+// fired nodes, so a stale handle may alias a different pending event.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
 	if e.queue.Remove(ev) {
 		ev.index = -1
+		e.release(ev)
 	}
 }
 
@@ -114,7 +180,15 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.Time
 	e.executed++
-	ev.Run()
+	// Copy the body out and recycle the node before running it, so events
+	// scheduled by the body can reuse it immediately.
+	run, fn, arg := ev.Run, ev.fn, ev.arg
+	e.release(ev)
+	if run != nil {
+		run()
+	} else {
+		fn(arg)
+	}
 	return true
 }
 

@@ -45,24 +45,58 @@ func (f FlowSpec) Validate() error {
 // start, delivering each to sink with the given flow ID. Packet IDs are
 // flowID<<16 + sequence.
 func ScheduleFlow(engine *sim.Engine, spec FlowSpec, start float64, flowID uint64, sink Sink) error {
+	return ScheduleFlowPool(engine, spec, start, flowID, sink, nil)
+}
+
+// ScheduleFlowPool is ScheduleFlow drawing packets from pool (nil pool
+// allocates). Instead of pre-scheduling one closure per packet it chains a
+// single emitter through the engine, so a flow costs one allocation total
+// and one pending event at a time regardless of its length.
+func ScheduleFlowPool(engine *sim.Engine, spec FlowSpec, start float64, flowID uint64, sink Sink, pool *core.PacketPool) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
-	gap := spec.Gap()
-	for i := 0; i < spec.Packets; i++ {
-		t := start + float64(i)*gap
-		seq := uint64(i)
-		engine.At(t, func() {
-			now := engine.Now()
-			sink(&core.Packet{
-				ID:      flowID<<16 + seq,
-				Class:   spec.Class,
-				Size:    spec.Size,
-				Arrival: now,
-				Birth:   now,
-				Flow:    flowID,
-			})
-		})
+	f := &flowEmitter{
+		engine: engine,
+		spec:   spec,
+		start:  start,
+		gap:    spec.Gap(),
+		flowID: flowID,
+		sink:   sink,
+		pool:   pool,
 	}
+	engine.AtFunc(start, flowEmit, f)
 	return nil
+}
+
+// flowEmitter emits one flow's packets at start + i·gap, one pending event
+// at a time.
+type flowEmitter struct {
+	engine *sim.Engine
+	spec   FlowSpec
+	start  float64
+	gap    float64
+	flowID uint64
+	sink   Sink
+	pool   *core.PacketPool
+	i      int
+}
+
+// flowEmit is the shared closure-free event body for flow emission.
+func flowEmit(arg any) { arg.(*flowEmitter).emit() }
+
+func (f *flowEmitter) emit() {
+	now := f.engine.Now()
+	p := f.pool.Get()
+	p.ID = f.flowID<<16 + uint64(f.i)
+	p.Class = f.spec.Class
+	p.Size = f.spec.Size
+	p.Arrival = now
+	p.Birth = now
+	p.Flow = f.flowID
+	f.sink(p)
+	f.i++
+	if f.i < f.spec.Packets {
+		f.engine.AtFunc(f.start+float64(f.i)*f.gap, flowEmit, f)
+	}
 }

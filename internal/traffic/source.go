@@ -21,6 +21,12 @@ type Source struct {
 	Sizes SizeDist
 	RNG   *rand.Rand
 
+	// Pool, if set, supplies recycled Packet objects so steady-state
+	// emission allocates nothing. The run harness that terminates packets
+	// (link departure/drop) returns them; see core.PacketPool for the
+	// lifetime rules. A nil Pool allocates per packet.
+	Pool *core.PacketPool
+
 	engine *sim.Engine
 	sink   Sink
 	nextID uint64
@@ -44,22 +50,26 @@ func (s *Source) Start(engine *sim.Engine, sink Sink, idBase uint64) {
 // Emitted returns how many packets the source has generated so far.
 func (s *Source) Emitted() uint64 { return s.count }
 
+// sourceEmit is the shared event body for source emission: a package-level
+// func plus the *Source receiver as the argument, so scheduling the next
+// arrival boxes no closure (see sim.AtFunc).
+func sourceEmit(arg any) { arg.(*Source).emit() }
+
 func (s *Source) scheduleNext() {
 	d := s.Inter.Next(s.RNG)
-	s.engine.After(d, s.emit)
+	s.engine.AfterFunc(d, sourceEmit, s)
 }
 
 func (s *Source) emit() {
 	now := s.engine.Now()
 	s.nextID++
 	s.count++
-	p := &core.Packet{
-		ID:      s.idBase + s.nextID,
-		Class:   s.Class,
-		Size:    s.Sizes.Next(s.RNG),
-		Arrival: now,
-		Birth:   now,
-	}
+	p := s.Pool.Get()
+	p.ID = s.idBase + s.nextID
+	p.Class = s.Class
+	p.Size = s.Sizes.Next(s.RNG)
+	p.Arrival = now
+	p.Birth = now
 	s.sink(p)
 	s.scheduleNext()
 }
