@@ -6,9 +6,9 @@ GO ?= go
 # lower-variance numbers (e.g. BENCHTIME=5s).
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke clean
+.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke soak clean
 
-all: build vet test race conformance fuzz-smoke
+all: build vet test race conformance fuzz-smoke soak
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,12 @@ test:
 
 # The repeated ForEach stress run exercises the parallel replication
 # runner's work-stealing dispatch under the race detector before the
-# whole-tree pass (which covers ./internal/experiments once more).
+# whole-tree pass (which covers ./internal/experiments once more), and the
+# repeated forwarder run stresses the UDP data plane's receive/transmit/
+# close interleavings (conservation under mid-flight close in particular).
 race:
 	$(GO) test -race -run TestForEachRaceStress -count=5 ./internal/experiments/
+	$(GO) test -race -run TestForwarder -count=3 ./internal/netio/
 	$(GO) test -race ./...
 
 test-short:
@@ -76,6 +79,12 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDeque -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzWTPScan -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
+
+# Short loopback soak: saturate a live forwarder via cmd/pdload and fail
+# unless the achieved egress rate is within ±2% of the configured rate
+# with exact packet conservation after the drain.
+soak:
+	$(GO) run ./cmd/pdload -duration 2s -rate 4e6
 
 clean:
 	$(GO) clean ./...

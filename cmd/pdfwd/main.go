@@ -47,6 +47,7 @@ func parseArgs(args []string) (options, error) {
 		sched       = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
 		sdpStr      = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
 		stats       = fs.Duration("stats", 5*time.Second, "stats print interval")
+		drain       = fs.Duration("drain", time.Second, "graceful drain budget on shutdown (0 = drop queued datagrams)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,12 +59,13 @@ func parseArgs(args []string) (options, error) {
 	}
 	return options{
 		cfg: pdds.ForwarderConfig{
-			Listen:      *listen,
-			Forward:     *forward,
-			Scheduler:   pdds.SchedulerKind(*sched),
-			SDP:         sdp,
-			RateBps:     *rate,
-			MetricsAddr: *metricsAddr,
+			Listen:       *listen,
+			Forward:      *forward,
+			Scheduler:    pdds.SchedulerKind(*sched),
+			SDP:          sdp,
+			RateBps:      *rate,
+			DrainTimeout: *drain,
+			MetricsAddr:  *metricsAddr,
 		},
 		interval: *stats,
 	}, nil
@@ -74,8 +76,8 @@ func parseArgs(args []string) (options, error) {
 // ratios from the telemetry registry.
 func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []float64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d",
-		s.Received, s.Forwarded, s.Dropped, s.BadHeader)
+	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d queued=%d",
+		s.Received, s.Forwarded, s.Dropped, s.BadHeader, s.Queued)
 	for _, c := range classes {
 		fmt.Fprintf(&b, " c%d=%d/%dq/%.1fms", c.Class, c.Departures, c.Backlog, c.DelayP99*1e3)
 	}

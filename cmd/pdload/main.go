@@ -1,0 +1,346 @@
+// Command pdload is a loopback load generator and soak harness for the
+// live UDP forwarder: it stands up a forwarder, a paced multi-class
+// sender, and a receiving sink on loopback sockets, saturates the egress
+// for a configured duration, drains, and reports
+//
+//   - the achieved egress rate vs the configured -rate (the pacer must
+//     hold the link rate for any live DDP-ratio claim to be meaningful),
+//   - packet conservation (Received = Forwarded + Dropped + BadHeader
+//     exactly, with nothing left queued after the drain), and
+//   - the observed per-class delay ratios vs the SDP targets.
+//
+// It exits non-zero when the achieved rate deviates from -rate by more
+// than -tolerance or when any datagram is unaccounted, so it doubles as a
+// CI soak check (`make soak`).
+//
+// Example:
+//
+//	pdload -rate 4e6 -duration 5s -classes 4 -sdp 1,2,4,8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"pdds"
+	"pdds/internal/cliutil"
+	"pdds/internal/netio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdload: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadConfig parameterizes one soak run.
+type loadConfig struct {
+	RateBps   float64       // forwarder egress rate, bits per second
+	Offered   float64       // offered load as a multiple of RateBps
+	Duration  time.Duration // sending phase length
+	Classes   int           // number of service classes
+	Size      int           // datagram size including the 18-byte header
+	Scheduler pdds.SchedulerKind
+	SDP       []float64
+	MaxQueue  int           // forwarder queue bound (packets)
+	Drain     time.Duration // post-send drain budget
+}
+
+// classResult is the per-class slice of a soak report.
+type classResult struct {
+	Class     int     `json:"class"`
+	Received  uint64  `json:"received"` // datagrams seen at the sink
+	DelayMean float64 `json:"delay_mean_sec"`
+	DelayP95  float64 `json:"delay_p95_sec"`
+}
+
+// loadReport is the outcome of one soak run.
+type loadReport struct {
+	ConfigRateBps   float64       `json:"config_rate_bps"`
+	AchievedRateBps float64       `json:"achieved_rate_bps"`
+	RateDeviation   float64       `json:"rate_deviation"` // achieved/config − 1
+	BusyPeriod      time.Duration `json:"busy_period_ns"` // first→last sink datagram
+
+	Sent      uint64 `json:"sent"`
+	Received  uint64 `json:"received"` // forwarder ingress (post kernel buffer)
+	Forwarded uint64 `json:"forwarded"`
+	Dropped   uint64 `json:"dropped"`
+	BadHeader uint64 `json:"bad_header"`
+	// Unaccounted is Received − Forwarded − Dropped − BadHeader − Queued;
+	// any nonzero value is an accounting bug in the forwarder.
+	Unaccounted int64  `json:"unaccounted"`
+	SinkCount   uint64 `json:"sink_count"` // datagrams delivered end to end
+
+	DelayRatios  []float64     `json:"delay_ratios"`
+	TargetRatios []float64     `json:"target_ratios"`
+	Classes      []classResult `json:"classes"`
+}
+
+// soak runs one loopback load test: sink ← forwarder ← paced sender.
+func soak(cfg loadConfig) (loadReport, error) {
+	if cfg.Size < netio.HeaderLen {
+		return loadReport{}, fmt.Errorf("datagram size %d below header length %d", cfg.Size, netio.HeaderLen)
+	}
+	if cfg.Classes < 1 || cfg.Classes > 64 {
+		return loadReport{}, fmt.Errorf("classes %d out of range [1,64]", cfg.Classes)
+	}
+	if len(cfg.SDP) != cfg.Classes {
+		return loadReport{}, fmt.Errorf("%d SDPs for %d classes", len(cfg.SDP), cfg.Classes)
+	}
+	if cfg.Offered <= 1 {
+		return loadReport{}, fmt.Errorf("offered load factor %g must exceed 1 to saturate the egress", cfg.Offered)
+	}
+
+	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return loadReport{}, err
+	}
+	defer sinkConn.Close()
+	// Best effort: a deep kernel buffer so the sink never back-pressures
+	// the measurement.
+	sinkConn.SetReadBuffer(4 << 20)
+
+	fwd, err := pdds.StartForwarderWithConfig(pdds.ForwarderConfig{
+		Listen:       "127.0.0.1:0",
+		Forward:      sinkConn.LocalAddr().String(),
+		Scheduler:    cfg.Scheduler,
+		SDP:          cfg.SDP,
+		RateBps:      cfg.RateBps,
+		MaxPackets:   cfg.MaxQueue,
+		DrainTimeout: cfg.Drain,
+	})
+	if err != nil {
+		return loadReport{}, err
+	}
+	defer fwd.Close()
+
+	// Sink reader: counts per class, sums one-way delays, tracks the
+	// busy period (first→last datagram) and wire bytes after the first.
+	type sinkStats struct {
+		count       uint64
+		bytes       int // wire bytes excluding the first datagram
+		first, last time.Time
+		perClass    []uint64
+		delaySum    []float64
+	}
+	sinkDone := make(chan sinkStats, 1)
+	go func() {
+		st := sinkStats{perClass: make([]uint64, cfg.Classes), delaySum: make([]float64, cfg.Classes)}
+		buf := make([]byte, 64*1024)
+		for {
+			n, _, err := sinkConn.ReadFromUDP(buf)
+			if err != nil {
+				sinkDone <- st
+				return
+			}
+			now := time.Now()
+			if st.count == 0 {
+				st.first = now
+			} else {
+				st.bytes += n
+			}
+			st.last = now
+			st.count++
+			if h, _, err := netio.Decode(buf[:n]); err == nil && int(h.Class) < cfg.Classes {
+				st.perClass[h.Class]++
+				st.delaySum[h.Class] += now.Sub(h.SentAt).Seconds()
+			}
+		}
+	}()
+
+	send, err := net.Dial("udp", fwd.Addr().String())
+	if err != nil {
+		return loadReport{}, err
+	}
+	defer send.Close()
+
+	// Paced sender: offered load = Offered × RateBps, round-robin over
+	// classes, absolute-clock pacing (send gaps don't accumulate drift).
+	var sent uint64
+	payload := make([]byte, cfg.Size-netio.HeaderLen)
+	gap := time.Duration(float64(cfg.Size*8) / (cfg.Offered * cfg.RateBps) * float64(time.Second))
+	stopAt := time.Now().Add(cfg.Duration)
+	next := time.Now()
+	for seq := uint64(0); time.Now().Before(stopAt); seq++ {
+		dg := netio.Header{
+			Class:  uint8(seq % uint64(cfg.Classes)),
+			Seq:    seq,
+			SentAt: time.Now(),
+		}.Encode(nil)
+		dg = append(dg, payload...)
+		if _, err := send.Write(dg); err != nil {
+			return loadReport{}, fmt.Errorf("sender: %w", err)
+		}
+		sent++
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+
+	// Let the forwarder drain its backlog at the egress rate, bounded by
+	// the worst case plus slack, then stop it.
+	txTime := time.Duration(float64(cfg.Size*8) / cfg.RateBps * float64(time.Second))
+	drainDeadline := time.Now().Add(time.Duration(cfg.MaxQueue)*txTime + 2*time.Second)
+	for {
+		st := fwd.Stats()
+		if st.Queued == 0 && st.Received == st.Forwarded+st.Dropped+st.BadHeader {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := fwd.Close(); err != nil {
+		return loadReport{}, err
+	}
+	st := fwd.Stats()
+
+	// Give in-flight datagrams a moment to land at the sink, then close
+	// it; the reader hands back its stats on the read error.
+	time.Sleep(250 * time.Millisecond)
+	sinkConn.Close()
+	sst := <-sinkDone
+
+	rep := loadReport{
+		ConfigRateBps: cfg.RateBps,
+		Sent:          sent,
+		Received:      st.Received,
+		Forwarded:     st.Forwarded,
+		Dropped:       st.Dropped,
+		BadHeader:     st.BadHeader,
+		Unaccounted:   int64(st.Received) - int64(st.Forwarded) - int64(st.Dropped) - int64(st.BadHeader) - int64(st.Queued),
+		SinkCount:     sst.count,
+		DelayRatios:   fwd.DelayRatios(),
+	}
+	for _, c := range fwd.ClassStats() {
+		cr := classResult{
+			Class:     c.Class,
+			DelayMean: c.DelayMean,
+			DelayP95:  c.DelayP95,
+		}
+		if c.Class < len(sst.perClass) {
+			cr.Received = sst.perClass[c.Class]
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	if len(cfg.SDP) > 1 {
+		rep.TargetRatios = make([]float64, len(cfg.SDP)-1)
+		for i := 0; i+1 < len(cfg.SDP); i++ {
+			rep.TargetRatios[i] = cfg.SDP[i+1] / cfg.SDP[i]
+		}
+	}
+	if sst.count >= 2 {
+		rep.BusyPeriod = sst.last.Sub(sst.first)
+		rep.AchievedRateBps = float64(sst.bytes) * 8 / rep.BusyPeriod.Seconds()
+		rep.RateDeviation = rep.AchievedRateBps/cfg.RateBps - 1
+	}
+	return rep, nil
+}
+
+// check returns an error when the report violates the soak's acceptance
+// conditions: rate within tolerance and exact packet conservation.
+func (r loadReport) check(tolerance float64) error {
+	if r.Unaccounted != 0 {
+		return fmt.Errorf("%d unaccounted datagrams (received=%d forwarded=%d dropped=%d bad-header=%d)",
+			r.Unaccounted, r.Received, r.Forwarded, r.Dropped, r.BadHeader)
+	}
+	if r.SinkCount < 2 {
+		return fmt.Errorf("sink saw only %d datagrams; no rate measurement possible", r.SinkCount)
+	}
+	if dev := r.RateDeviation; dev < -tolerance || dev > tolerance {
+		return fmt.Errorf("achieved egress rate %.0f bps deviates %+.2f%% from configured %.0f bps (tolerance ±%.0f%%)",
+			r.AchievedRateBps, dev*100, r.ConfigRateBps, tolerance*100)
+	}
+	return nil
+}
+
+// render writes the human-readable report.
+func (r loadReport) render(w io.Writer) {
+	fmt.Fprintf(w, "egress rate: achieved %.0f bps vs configured %.0f bps (%+.2f%%) over %v busy period\n",
+		r.AchievedRateBps, r.ConfigRateBps, r.RateDeviation*100, r.BusyPeriod.Round(time.Millisecond))
+	fmt.Fprintf(w, "conservation: sent=%d received=%d forwarded=%d dropped=%d bad-header=%d unaccounted=%d sink=%d\n",
+		r.Sent, r.Received, r.Forwarded, r.Dropped, r.BadHeader, r.Unaccounted, r.SinkCount)
+	for _, c := range r.Classes {
+		fmt.Fprintf(w, "class %d: sink=%d delay mean=%.1fms p95=%.1fms\n",
+			c.Class, c.Received, c.DelayMean*1e3, c.DelayP95*1e3)
+	}
+	if len(r.DelayRatios) > 0 {
+		parts := make([]string, len(r.DelayRatios))
+		for i, v := range r.DelayRatios {
+			parts[i] = fmt.Sprintf("%.2f", v)
+		}
+		tparts := make([]string, len(r.TargetRatios))
+		for i, v := range r.TargetRatios {
+			tparts[i] = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(w, "delay ratios: %s (targets %s)\n", strings.Join(parts, ","), strings.Join(tparts, ","))
+	}
+}
+
+// run executes the CLI against args, writing the report to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdload", flag.ContinueOnError)
+	var (
+		rate      = fs.Float64("rate", 4e6, "forwarder egress rate, bits per second")
+		offered   = fs.Float64("offered", 1.5, "offered load as a multiple of -rate (must be > 1)")
+		duration  = fs.Duration("duration", 5*time.Second, "sending phase length")
+		classes   = fs.Int("classes", 4, "number of service classes")
+		size      = fs.Int("size", 500, "datagram size in bytes including the 18-byte header")
+		sched     = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
+		sdpStr    = fs.String("sdp", "", "scheduler differentiation parameters (default 1,2,4,... per class)")
+		maxq      = fs.Int("maxq", 512, "forwarder queue bound, packets")
+		drain     = fs.Duration("drain", 10*time.Second, "forwarder drain budget at shutdown")
+		tolerance = fs.Float64("tolerance", 0.02, "acceptable relative egress-rate deviation")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sdp := make([]float64, 0, *classes)
+	if *sdpStr != "" {
+		var err error
+		sdp, err = cliutil.ParseFloats(*sdpStr)
+		if err != nil {
+			return fmt.Errorf("-sdp: %v", err)
+		}
+	} else {
+		for i := 0; i < *classes; i++ {
+			sdp = append(sdp, float64(int(1)<<i))
+		}
+	}
+	rep, err := soak(loadConfig{
+		RateBps:   *rate,
+		Offered:   *offered,
+		Duration:  *duration,
+		Classes:   *classes,
+		Size:      *size,
+		Scheduler: pdds.SchedulerKind(*sched),
+		SDP:       sdp,
+		MaxQueue:  *maxq,
+		Drain:     *drain,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		rep.render(stdout)
+	}
+	return rep.check(*tolerance)
+}

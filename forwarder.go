@@ -17,12 +17,19 @@ type Forwarder struct {
 	inner *netio.Forwarder
 }
 
-// ForwarderStats are cumulative forwarder counters.
+// ForwarderStats are cumulative forwarder counters. Every received
+// datagram is accounted exactly once:
+// Received = Forwarded + Dropped + BadHeader + Queued at any snapshot,
+// with Queued reaching 0 after Close.
 type ForwarderStats struct {
 	Received  uint64
 	Forwarded uint64
+	// Dropped counts queue-full drops, egress write failures that
+	// exhausted their retries, and datagrams discarded at Close.
 	Dropped   uint64
 	BadHeader uint64
+	// Queued is the instantaneous scheduler backlog at snapshot time.
+	Queued uint64
 }
 
 // ForwarderConfig configures StartForwarderWithConfig.
@@ -38,6 +45,14 @@ type ForwarderConfig struct {
 	RateBps float64
 	// MaxPackets bounds the aggregate queue (0 = 4096).
 	MaxPackets int
+	// DrainTimeout bounds the graceful drain Close performs: queued
+	// datagrams keep transmitting — still paced at RateBps — for up to
+	// this long before the remainder is dropped and accounted. Zero
+	// drops the backlog immediately on Close.
+	DrainTimeout time.Duration
+	// DisablePooling turns off ingress buffer and packet reuse, forcing
+	// a fresh allocation per datagram (debugging aid).
+	DisablePooling bool
 	// MetricsAddr, if non-empty, serves live per-class metrics over
 	// HTTP on this address: /metrics (expvar-style JSON),
 	// /metrics?format=text (human view) and /debug/pprof/. Use
@@ -68,14 +83,16 @@ func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
 		sdp = []float64{1, 2, 4, 8}
 	}
 	inner, err := netio.Listen(netio.Config{
-		Listen:      cfg.Listen,
-		Forward:     cfg.Forward,
-		Scheduler:   core.Kind(cfg.Scheduler),
-		SDP:         sdp,
-		RateBps:     cfg.RateBps,
-		MaxPackets:  cfg.MaxPackets,
-		MetricsAddr: cfg.MetricsAddr,
-		Telemetry:   telemetry.NewWithSDP(sdp),
+		Listen:         cfg.Listen,
+		Forward:        cfg.Forward,
+		Scheduler:      core.Kind(cfg.Scheduler),
+		SDP:            sdp,
+		RateBps:        cfg.RateBps,
+		MaxPackets:     cfg.MaxPackets,
+		DrainTimeout:   cfg.DrainTimeout,
+		DisablePooling: cfg.DisablePooling,
+		MetricsAddr:    cfg.MetricsAddr,
+		Telemetry:      telemetry.NewWithSDP(sdp),
 	})
 	if err != nil {
 		return nil, err

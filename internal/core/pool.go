@@ -19,7 +19,12 @@ package core
 //
 // PacketPool is not safe for concurrent use; like the schedulers and the
 // engine it is confined to one simulation run. Independent parallel runs
-// each own a private pool.
+// each own a private pool. Non-simulation callers may share a pool across
+// goroutines only by serializing every Get/Put under one mutex — the UDP
+// forwarder (internal/netio) does exactly that under its queue mutex,
+// pairing each pooled Packet with a recycled payload buffer whose
+// lifetime ends at the packet's terminal event (forwarded, dropped, or
+// discarded at close).
 type PacketPool struct {
 	free []*Packet
 	// allocated counts Get calls that hit the allocator; recycled counts

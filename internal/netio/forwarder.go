@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdds/internal/core"
@@ -27,6 +28,17 @@ type Config struct {
 	// MaxPackets bounds the aggregate queue; arriving datagrams beyond
 	// it are dropped (0 = 4096).
 	MaxPackets int
+	// DrainTimeout bounds the graceful drain Close performs: queued
+	// datagrams keep transmitting — still paced at RateBps — for up to
+	// this long before the remainder is dropped. Zero drops the backlog
+	// immediately on Close. Either way every queued datagram ends up in
+	// Forwarded or Dropped, so the conservation invariant
+	// Received = Forwarded + Dropped + BadHeader holds after shutdown.
+	DrainTimeout time.Duration
+	// DisablePooling turns off ingress buffer and packet reuse, forcing
+	// a fresh allocation per datagram (debugging aid; pooling is the
+	// default).
+	DisablePooling bool
 	// Telemetry, if set, receives per-class counters and queueing-delay
 	// histograms for every datagram (delays in seconds). Leave nil to
 	// run uninstrumented; MetricsAddr implies a registry.
@@ -36,6 +48,11 @@ type Config struct {
 	// JSON, /metrics?format=text, and /debug/pprof/. A registry is
 	// created automatically when Telemetry is nil.
 	MetricsAddr string
+
+	// egressWrite, when non-nil, replaces the egress socket write.
+	// Package tests inject deterministic transient and persistent write
+	// failures through it; production configs cannot set it.
+	egressWrite func(p []byte) (int, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -51,16 +68,40 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats are cumulative forwarder counters.
+const (
+	// maxSleepChunk bounds any single pacer sleep so Close stays
+	// responsive even at very low egress rates (one datagram's
+	// transmission time can be seconds).
+	maxSleepChunk = 50 * time.Millisecond
+	// writeRetries and writeBackoffBase govern transient egress write
+	// errors (e.g. ECONNREFUSED from a restarting receiver, ENOBUFS):
+	// each datagram is retried with doubling backoff before it is
+	// dropped and accounted.
+	writeRetries     = 3
+	writeBackoffBase = 500 * time.Microsecond
+)
+
+// Stats are cumulative forwarder counters. Every received datagram is
+// accounted exactly once: Received = Forwarded + Dropped + BadHeader +
+// Queued at any snapshot, with Queued reaching 0 after Close.
 type Stats struct {
 	Received  uint64
 	Forwarded uint64
-	Dropped   uint64
+	// Dropped counts queue-full drops, egress write failures that
+	// exhausted their retries, and datagrams discarded at Close.
+	Dropped uint64
 	// BadHeader counts datagrams that failed to decode.
 	BadHeader uint64
+	// Queued is the instantaneous scheduler backlog at snapshot time.
+	Queued uint64
 }
 
 // Forwarder is a single-hop class-based forwarding element over UDP.
+//
+// Telemetry ordering contract: for every datagram the registry sees the
+// Arrival strictly before the matching Departure or Drop (both are
+// recorded under the queue mutex), so counter-derived backlogs
+// (arrivals − departures − drops) never transiently underflow.
 type Forwarder struct {
 	cfg     Config
 	in      *net.UDPConn
@@ -70,12 +111,22 @@ type Forwarder struct {
 	telem   *telemetry.Registry
 	metrics *telemetry.Server
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sched  core.Scheduler
-	queued int
-	closed bool
-	stats  Stats
+	// abort interrupts pacer sleeps and write backoffs once Close (or a
+	// drain deadline) decides the remaining backlog will be dropped.
+	abort atomic.Bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sched   core.Scheduler
+	queued  int
+	closing bool
+	drainBy time.Time // drain deadline; valid once closing is set
+	stats   Stats
+	pool    *core.PacketPool // nil when pooling is disabled
+	bufs    [][]byte         // payload buffer free list (LIFO)
+
+	closeOnce sync.Once
+	closeErr  error
 
 	wg sync.WaitGroup
 }
@@ -114,6 +165,9 @@ func Listen(cfg Config) (*Forwarder, error) {
 		sched: sched,
 		telem: cfg.Telemetry,
 	}
+	if !cfg.DisablePooling {
+		f.pool = core.NewPacketPool()
+	}
 	if f.telem == nil && cfg.MetricsAddr != "" {
 		f.telem = telemetry.NewWithSDP(cfg.SDP)
 	}
@@ -151,81 +205,128 @@ func (f *Forwarder) MetricsAddr() net.Addr {
 func (f *Forwarder) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.stats
+	s := f.stats
+	s.Queued = uint64(f.queued)
+	return s
 }
 
-// Close shuts the forwarder down and waits for its loops to exit.
-// Queued datagrams are discarded.
+// Close shuts the forwarder down and waits for its loops to exit. With
+// Config.DrainTimeout zero, queued datagrams are dropped immediately
+// (counted in Stats.Dropped and per-class telemetry drops); with a
+// positive timeout they keep transmitting, still paced, until the queue
+// empties or the deadline passes, whichever comes first.
 func (f *Forwarder) Close() error {
-	f.mu.Lock()
-	if f.closed {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		f.beginClosingLocked()
+		f.cond.Broadcast()
 		f.mu.Unlock()
-		return nil
+		f.closeErr = f.in.Close()
+		f.wg.Wait()
+		if f.metrics != nil {
+			f.metrics.Close()
+		}
+	})
+	return f.closeErr
+}
+
+// beginClosingLocked transitions to the closing state: no new datagrams
+// are admitted and the transmitter drains until drainBy. Caller must hold
+// f.mu.
+func (f *Forwarder) beginClosingLocked() {
+	if f.closing {
+		return
 	}
-	f.closed = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
-	err := f.in.Close()
-	f.wg.Wait()
-	if f.metrics != nil {
-		f.metrics.Close()
+	f.closing = true
+	f.drainBy = time.Now().Add(f.cfg.DrainTimeout)
+	if f.cfg.DrainTimeout <= 0 {
+		f.abort.Store(true)
 	}
-	return err
 }
 
 // now returns seconds since the forwarder started; it is the time base for
 // waiting-time priorities.
 func (f *Forwarder) now() float64 { return time.Since(f.epoch).Seconds() }
 
+// getBufLocked returns a zero-length payload buffer with capacity ≥ n,
+// reusing the free list when possible. Caller must hold f.mu.
+func (f *Forwarder) getBufLocked(n int) []byte {
+	if k := len(f.bufs); k > 0 && !f.cfg.DisablePooling {
+		b := f.bufs[k-1]
+		f.bufs[k-1] = nil
+		f.bufs = f.bufs[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+		// Too small for this datagram: let it go and size up below.
+	}
+	c := 256
+	for c < n {
+		c <<= 1
+	}
+	return make([]byte, 0, c)
+}
+
+// recycleLocked returns p and its payload buffer to the free lists after
+// its terminal event (forwarded, dropped, or discarded at close). Caller
+// must hold f.mu and must not touch p afterwards.
+func (f *Forwarder) recycleLocked(p *core.Packet) {
+	if f.cfg.DisablePooling {
+		return
+	}
+	if p.Payload != nil {
+		f.bufs = append(f.bufs, p.Payload[:0])
+	}
+	f.pool.Put(p)
+}
+
 func (f *Forwarder) receiveLoop() {
 	defer f.wg.Done()
-	buf := make([]byte, 64*1024)
+	scratch := make([]byte, 64*1024)
 	var seq uint64
 	for {
-		n, _, err := f.in.ReadFromUDP(buf)
+		n, _, err := f.in.ReadFromUDP(scratch)
 		if err != nil {
-			// Closed socket (or a fatal error): stop receiving
-			// and wake the transmitter so it can observe closed.
+			// Closed socket (or a fatal error): stop receiving and
+			// wake the transmitter so it can drain or discard.
 			f.mu.Lock()
-			f.closed = true
+			f.beginClosingLocked()
 			f.cond.Broadcast()
 			f.mu.Unlock()
 			return
 		}
-		datagram := make([]byte, n)
-		copy(datagram, buf[:n])
 
 		f.mu.Lock()
 		f.stats.Received++
-		hdr, _, derr := Decode(datagram)
+		hdr, _, derr := Decode(scratch[:n])
 		if derr != nil || int(hdr.Class) >= f.sched.NumClasses() {
 			f.stats.BadHeader++
 			f.mu.Unlock()
 			continue
 		}
-		if f.queued >= f.cfg.MaxPackets {
+		class := int(hdr.Class)
+		now := f.now()
+		// Ordering contract: the arrival is recorded before the
+		// transmitter can observe the packet — and before any drop —
+		// so a departure or drop never precedes its arrival.
+		f.telem.Arrival(class, int64(n), now)
+		if f.queued >= f.cfg.MaxPackets || f.closing {
 			f.stats.Dropped++
+			f.telem.Drop(class, now)
 			f.mu.Unlock()
-			if f.telem != nil {
-				f.telem.Drop(int(hdr.Class), f.now())
-			}
 			continue
 		}
 		seq++
-		now := f.now()
-		f.sched.Enqueue(&core.Packet{
-			ID:      seq,
-			Class:   int(hdr.Class),
-			Size:    int64(n),
-			Arrival: now,
-			Payload: datagram,
-		}, now)
+		p := f.pool.Get()
+		p.ID = seq
+		p.Class = class
+		p.Size = int64(n)
+		p.Arrival = now
+		p.Payload = append(f.getBufLocked(n), scratch[:n]...)
+		f.sched.Enqueue(p, now)
 		f.queued++
 		f.cond.Signal()
 		f.mu.Unlock()
-		if f.telem != nil {
-			f.telem.Arrival(int(hdr.Class), int64(n), now)
-		}
 	}
 }
 
@@ -233,45 +334,125 @@ func (f *Forwarder) transmitLoop() {
 	defer f.wg.Done()
 	out, err := net.DialUDP("udp", nil, f.dst)
 	if err != nil {
-		// Nothing can be forwarded; drain nothing and exit when
-		// closed.
-		f.mu.Lock()
-		f.closed = true
-		f.mu.Unlock()
-		return
+		// No egress socket: every datagram fails its write and is
+		// dropped with full accounting, keeping the stats invariant.
+		out = nil
+	} else {
+		defer out.Close()
 	}
-	defer out.Close()
+
+	// nextFree is the absolute time the virtual egress link becomes
+	// free: an absolute-clock token pacer. It advances by exactly one
+	// transmission time per datagram, so time spent in writes, dequeues
+	// or telemetry is paid out of link credit instead of stretching the
+	// schedule — the achieved rate tracks RateBps across a busy period.
+	nextFree := time.Now()
 	for {
+		// Wait for the link to be free before selecting, so
+		// waiting-time priorities are evaluated at service time.
+		f.sleepUntil(nextFree)
+
 		f.mu.Lock()
-		for f.queued == 0 && !f.closed {
+		wasEmpty := f.queued == 0
+		for f.queued == 0 && !f.closing {
 			f.cond.Wait()
 		}
-		if f.closed {
+		if f.closing && (f.queued == 0 || !time.Now().Before(f.drainBy)) {
+			f.discardQueuedLocked()
 			f.mu.Unlock()
 			return
 		}
 		depart := f.now()
 		p := f.sched.Dequeue(depart)
 		if p == nil { // defensive: queued said otherwise
+			f.queued = 0
 			f.mu.Unlock()
 			continue
 		}
 		f.queued--
 		f.mu.Unlock()
-		if f.telem != nil {
-			// Queueing delay in seconds: scheduler pick time minus
-			// socket arrival time (the paper's per-hop metric).
-			f.telem.Departure(p.Class, p.Size, depart, depart-p.Arrival)
+
+		if wasEmpty {
+			// The link sat idle: restart the pacer clock so unused
+			// idle time does not become a line-rate burst. Credit
+			// accumulates only within a busy period.
+			if now := time.Now(); nextFree.Before(now) {
+				nextFree = now
+			}
 		}
 
-		if _, err := out.Write(p.Payload); err == nil {
-			f.mu.Lock()
+		werr := f.write(out, p.Payload)
+
+		f.mu.Lock()
+		if werr == nil {
 			f.stats.Forwarded++
-			f.mu.Unlock()
+			f.telem.Departure(p.Class, p.Size, depart, depart-p.Arrival)
+		} else {
+			f.stats.Dropped++
+			f.telem.Drop(p.Class, f.now())
 		}
-		// Pace the egress at the configured rate: the transmission
-		// time of this datagram.
-		time.Sleep(time.Duration(float64(p.Size) / f.rate * float64(time.Second)))
+		size := p.Size
+		f.recycleLocked(p)
+		f.mu.Unlock()
+
+		nextFree = nextFree.Add(time.Duration(float64(size) / f.rate * float64(time.Second)))
+	}
+}
+
+// discardQueuedLocked drops every queued packet with full accounting so
+// Received = Forwarded + Dropped + BadHeader holds after shutdown and the
+// telemetry backlog returns to zero. Caller must hold f.mu.
+func (f *Forwarder) discardQueuedLocked() {
+	now := f.now()
+	for {
+		p := f.sched.Dequeue(now)
+		if p == nil {
+			break
+		}
+		f.stats.Dropped++
+		f.telem.Drop(p.Class, now)
+		f.recycleLocked(p)
+	}
+	f.queued = 0
+}
+
+// sleepUntil sleeps until t in bounded chunks, returning early when the
+// forwarder aborts (Close dropping the backlog), so shutdown is never
+// stuck behind a long low-rate pacing gap.
+func (f *Forwarder) sleepUntil(t time.Time) {
+	for !f.abort.Load() {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d > maxSleepChunk {
+			d = maxSleepChunk
+		}
+		time.Sleep(d)
+	}
+}
+
+// errNoEgress reports that the egress socket could not be dialed.
+var errNoEgress = errors.New("netio: egress socket unavailable")
+
+// write sends one datagram, retrying transient errors with doubling
+// backoff before giving up. Retry time is paid out of pacer credit.
+func (f *Forwarder) write(out *net.UDPConn, payload []byte) error {
+	send := f.cfg.egressWrite
+	if send == nil {
+		if out == nil {
+			return errNoEgress
+		}
+		send = out.Write
+	}
+	backoff := writeBackoffBase
+	for attempt := 0; ; attempt++ {
+		_, err := send(payload)
+		if err == nil || attempt >= writeRetries || f.abort.Load() {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 }
 

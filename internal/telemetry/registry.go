@@ -22,6 +22,13 @@ type ClassMetrics struct {
 // against. A nil *Registry is a valid "telemetry disabled" value for every
 // method, so instrumentation points can call through unconditionally or
 // guard with a single nil check.
+//
+// Ordering contract: instrumented systems must record a packet's Arrival
+// strictly before its matching Departure or Drop (the simulation engine
+// does so by construction; the UDP forwarder records both under its queue
+// mutex). Counter-derived backlogs (arrivals − departures − drops) are
+// only meaningful under this contract — ClassSnapshot.Backlog clamps an
+// underflow to 0 rather than reporting a transient lie.
 type Registry struct {
 	classes []ClassMetrics
 	target  []float64 // target adjacent ratio: delay(i)/delay(i+1) = SDP[i+1]/SDP[i]
