@@ -6,9 +6,9 @@ GO ?= go
 # lower-variance numbers (e.g. BENCHTIME=5s).
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke soak clean
+.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke soak stress stress-full clean
 
-all: build vet test race conformance fuzz-smoke soak
+all: build vet test race conformance fuzz-smoke soak stress
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,11 @@ vet:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt: unformatted files:"; echo "$$unformatted"; exit 1; fi
 
+# -shuffle=on randomizes test (and subtest) execution order so hidden
+# inter-test state dependencies surface; the seed is printed on failure
+# and reproducible with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The repeated ForEach stress run exercises the parallel replication
 # runner's work-stealing dispatch under the race detector before the
@@ -47,8 +50,10 @@ bench-save:
 bench-cmp:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/pdbench -baseline BENCH_baseline.json
 
+# Per-package coverage with enforced floors: fails if any package in
+# COVERAGE.md's table reports statement coverage below its floor.
 cover:
-	$(GO) test -cover ./...
+	GO="$(GO)" ./scripts/covercheck.sh
 
 # Regenerate every paper figure/table at full fidelity (~15 min single core).
 experiments:
@@ -70,7 +75,7 @@ golden-update:
 # Brief fuzzing passes over the two wire/file parsers.
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/netio/
-	$(GO) test -fuzz FuzzReadTraceCSV -fuzztime 30s ./internal/traffic/
+	$(GO) test -fuzz FuzzTraceCSV -fuzztime 30s ./internal/traffic/
 	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
 
 # Short fuzzing passes over the scheduler data structures: the fifo ring,
@@ -79,12 +84,23 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzDeque -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzWTPScan -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
+	$(GO) test -fuzz FuzzTraceCSV -fuzztime 10s ./internal/traffic/
 
 # Short loopback soak: saturate a live forwarder via cmd/pdload and fail
 # unless the achieved egress rate is within ±2% of the configured rate
 # with exact packet conservation after the drain.
 soak:
 	$(GO) run ./cmd/pdload -duration 2s -rate 4e6
+
+# Chaos/fault stress matrix (cmd/pdstress): the scenario catalog across
+# {WTP,BPR,FCFS} plus the live-forwarder egress fault plans, judged on
+# conservation, pool leaks, telemetry monotonicity and PDD ratio windows.
+# `stress` is the CI-sized run; `stress-full` drives ~12M packets.
+stress:
+	$(GO) run ./cmd/pdstress -scale quick -net
+
+stress-full:
+	$(GO) run ./cmd/pdstress -scale full -net
 
 clean:
 	$(GO) clean ./...

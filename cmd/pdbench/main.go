@@ -2,7 +2,9 @@
 // It reads benchmark output on stdin, and either saves the parsed results
 // as a JSON baseline artifact or compares them against a previously saved
 // baseline, printing per-benchmark deltas for ns/op, allocs/op and the
-// packets/sec throughput metric.
+// packets/sec throughput metric. In comparison mode it exits non-zero
+// when any benchmark regresses beyond -threshold (or allocates more than
+// its baseline at all), so `make bench-cmp` is a pass/fail CI gate.
 //
 // Examples:
 //
@@ -26,8 +28,9 @@ func main() {
 	log.SetPrefix("pdbench: ")
 
 	var (
-		save     = flag.String("save", "", "write the parsed benchmarks to this JSON baseline file")
-		baseline = flag.String("baseline", "", "compare the parsed benchmarks against this JSON baseline file")
+		save      = flag.String("save", "", "write the parsed benchmarks to this JSON baseline file")
+		baseline  = flag.String("baseline", "", "compare the parsed benchmarks against this JSON baseline file")
+		threshold = flag.Float64("threshold", 0.15, "relative regression budget for ns/op and packets/sec before exiting non-zero (allocs/op may never grow); negative disables the gate")
 	)
 	flag.Parse()
 
@@ -60,6 +63,15 @@ func main() {
 		}
 		if err := writeComparison(os.Stdout, base, benches); err != nil {
 			log.Fatal(err)
+		}
+		if *threshold >= 0 {
+			regs := regressions(base, benches, *threshold)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "pdbench: regression: "+r)
+			}
+			if len(regs) > 0 {
+				os.Exit(1)
+			}
 		}
 	case *save == "":
 		// Neither flag: print the parsed table (sanity check / ad hoc use).

@@ -1,0 +1,42 @@
+package main
+
+import "fmt"
+
+// regressions compares current benchmarks against the baseline and returns
+// one line per regression beyond the threshold:
+//
+//   - ns/op grew by more than threshold (relative, e.g. 0.15 = +15%),
+//   - packets/sec fell by more than threshold, or
+//   - allocs/op increased at all (alloc counts are integers and the hot
+//     path is pinned at zero, so any increase is a real regression, not
+//     noise).
+//
+// Benchmarks present only in the baseline or only in the current run are
+// not regressions — the benchmark set is allowed to evolve; the comparison
+// table already marks them.
+func regressions(base *Artifact, cur []Bench, threshold float64) []string {
+	byName := make(map[string]Bench, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Pkg+" "+b.Name] = b
+	}
+	var out []string
+	for _, b := range cur {
+		old, ok := byName[b.Pkg+" "+b.Name]
+		if !ok {
+			continue
+		}
+		if old.NsPerOp > 0 && b.NsPerOp > old.NsPerOp*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, threshold %+.1f%%)",
+				b.Name, old.NsPerOp, b.NsPerOp, (b.NsPerOp/old.NsPerOp-1)*100, threshold*100))
+		}
+		if b.AllocsPerOp > old.AllocsPerOp+0.5 {
+			out = append(out, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (any increase fails)",
+				b.Name, old.AllocsPerOp, b.AllocsPerOp))
+		}
+		if old.PacketsPerSec > 0 && b.PacketsPerSec < old.PacketsPerSec*(1-threshold) {
+			out = append(out, fmt.Sprintf("%s: packets/sec %.0f -> %.0f (%+.1f%%, threshold -%.1f%%)",
+				b.Name, old.PacketsPerSec, b.PacketsPerSec, (b.PacketsPerSec/old.PacketsPerSec-1)*100, threshold*100))
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func regressBase() *Artifact {
+	return &Artifact{Benchmarks: []Bench{
+		{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 1000, AllocsPerOp: 0, PacketsPerSec: 5e6},
+		{Pkg: "pdds/internal/core", Name: "BenchmarkWTP", NsPerOp: 200, AllocsPerOp: 2, PacketsPerSec: 0},
+	}}
+}
+
+func TestRegressionsCleanRun(t *testing.T) {
+	cur := []Bench{
+		// Within budget: +10% ns/op, same allocs, -10% packets/sec.
+		{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 1100, AllocsPerOp: 0, PacketsPerSec: 4.5e6},
+		{Pkg: "pdds/internal/core", Name: "BenchmarkWTP", NsPerOp: 180, AllocsPerOp: 2},
+	}
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("clean run flagged: %v", regs)
+	}
+}
+
+func TestRegressionsNsPerOp(t *testing.T) {
+	cur := []Bench{{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 1200, PacketsPerSec: 5e6}}
+	regs := regressions(regressBase(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("want one ns/op regression, got %v", regs)
+	}
+	// The same run passes a looser budget.
+	if regs := regressions(regressBase(), cur, 0.25); len(regs) != 0 {
+		t.Errorf("within-budget run flagged: %v", regs)
+	}
+	// Exactly at the threshold is not a regression (strictly beyond).
+	cur[0].NsPerOp = 1150
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("at-threshold run flagged: %v", regs)
+	}
+}
+
+func TestRegressionsAllocsAnyIncrease(t *testing.T) {
+	cur := []Bench{{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 1000, AllocsPerOp: 1, PacketsPerSec: 5e6}}
+	regs := regressions(regressBase(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("want one allocs/op regression, got %v", regs)
+	}
+	// Fewer allocs is fine.
+	cur = []Bench{{Pkg: "pdds/internal/core", Name: "BenchmarkWTP", NsPerOp: 200, AllocsPerOp: 1}}
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("alloc improvement flagged: %v", regs)
+	}
+}
+
+func TestRegressionsPacketsPerSec(t *testing.T) {
+	cur := []Bench{{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 1000, PacketsPerSec: 4e6}}
+	regs := regressions(regressBase(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "packets/sec") {
+		t.Errorf("want one packets/sec regression, got %v", regs)
+	}
+	// A baseline without the metric (0) never gates on it.
+	cur = []Bench{{Pkg: "pdds/internal/core", Name: "BenchmarkWTP", NsPerOp: 200, AllocsPerOp: 2, PacketsPerSec: 123}}
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("metric-less baseline gated: %v", regs)
+	}
+}
+
+func TestRegressionsIgnoresUnmatched(t *testing.T) {
+	cur := []Bench{
+		// New benchmark, terrible numbers: not a regression.
+		{Pkg: "pdds/internal/sim", Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 50},
+	}
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("unmatched benchmark flagged: %v", regs)
+	}
+	// Same name in a different package must not match the baseline entry.
+	cur = []Bench{{Pkg: "pdds/other", Name: "BenchmarkLink", NsPerOp: 99999, AllocsPerOp: 50}}
+	if regs := regressions(regressBase(), cur, 0.15); len(regs) != 0 {
+		t.Errorf("cross-package name collision flagged: %v", regs)
+	}
+}
+
+func TestRegressionsMultiple(t *testing.T) {
+	cur := []Bench{
+		{Pkg: "pdds/internal/link", Name: "BenchmarkLink", NsPerOp: 2000, AllocsPerOp: 3, PacketsPerSec: 1e6},
+	}
+	regs := regressions(regressBase(), cur, 0.15)
+	if len(regs) != 3 {
+		t.Errorf("want 3 regressions (ns, allocs, pps), got %d: %v", len(regs), regs)
+	}
+}

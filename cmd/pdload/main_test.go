@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -94,5 +95,74 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-classes", "0"}, &strings.Builder{}); err == nil {
 		t.Fatal("-classes 0 accepted")
+	}
+}
+
+// TestRunJSONSchema pins the -json report contract: every documented
+// field is present under its exact key, the decoded report satisfies
+// conservation, and per-class entries cover every configured class.
+func TestRunJSONSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback soak")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-json", "-duration", "800ms", "-rate", "4e6", "-classes", "3",
+		"-sdp", "1,2,4", "-size", "400", "-maxq", "256",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+
+	// Field presence, by exact JSON key: decode into a generic map so a
+	// renamed or dropped tag fails here even if the Go struct still has
+	// the field.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	for _, key := range []string{
+		"config_rate_bps", "achieved_rate_bps", "rate_deviation", "busy_period_ns",
+		"sent", "received", "forwarded", "dropped", "bad_header", "unaccounted",
+		"sink_count", "delay_ratios", "target_ratios", "classes",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report missing key %q", key)
+		}
+	}
+
+	// Typed decode: the report must still satisfy the soak's own
+	// acceptance conditions after the JSON round trip.
+	var rep loadReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unaccounted != 0 {
+		t.Errorf("decoded report has %d unaccounted datagrams", rep.Unaccounted)
+	}
+	if rep.Received != rep.Forwarded+rep.Dropped+rep.BadHeader {
+		t.Errorf("decoded conservation broken: received=%d forwarded=%d dropped=%d bad-header=%d",
+			rep.Received, rep.Forwarded, rep.Dropped, rep.BadHeader)
+	}
+	if rep.Sent == 0 || rep.Received == 0 || rep.SinkCount == 0 {
+		t.Errorf("empty soak: sent=%d received=%d sink=%d", rep.Sent, rep.Received, rep.SinkCount)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("decoded %d class entries, want 3", len(rep.Classes))
+	}
+	for i, c := range rep.Classes {
+		if c.Class != i {
+			t.Errorf("class entry %d carries class %d", i, c.Class)
+		}
+		if c.DelayMean < 0 || c.DelayP95 < 0 {
+			t.Errorf("class %d negative delays: mean=%g p95=%g", i, c.DelayMean, c.DelayP95)
+		}
+	}
+	if want := []float64{2, 2}; len(rep.TargetRatios) != 2 ||
+		rep.TargetRatios[0] != want[0] || rep.TargetRatios[1] != want[1] {
+		t.Errorf("target_ratios = %v, want %v", rep.TargetRatios, want)
+	}
+	if len(rep.DelayRatios) != 2 {
+		t.Errorf("delay_ratios has %d entries, want 2", len(rep.DelayRatios))
 	}
 }

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpScaleLoad:   "scale-load",
+		OpScaleClass:  "scale-class",
+		OpSetLinkRate: "set-link-rate",
+		OpSourceOff:   "source-off",
+		OpSourceOn:    "source-on",
+		OpBurst:       "burst",
+		Op(0):         "op(0)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestActionValidate(t *testing.T) {
+	const classes = 4
+	bad := []struct {
+		name string
+		a    Action
+	}{
+		{"zero op", Action{At: 1}},
+		{"negative time", Action{At: -1, Op: OpScaleLoad, Factor: 2}},
+		{"inf time", Action{At: math.Inf(1), Op: OpScaleLoad, Factor: 2}},
+		{"nan time", Action{At: math.NaN(), Op: OpScaleLoad, Factor: 2}},
+		{"zero factor", Action{At: 1, Op: OpScaleLoad}},
+		{"negative factor", Action{At: 1, Op: OpScaleClass, Class: 0, Factor: -2}},
+		{"class high", Action{At: 1, Op: OpScaleClass, Class: 4, Factor: 2}},
+		{"class low", Action{At: 1, Op: OpSourceOff, Class: -1}},
+		{"link factor", Action{At: 1, Op: OpSetLinkRate}},
+		{"burst no count", Action{At: 1, Op: OpBurst, Class: 0, Size: 100}},
+		{"burst no size", Action{At: 1, Op: OpBurst, Class: 0, Count: 3}},
+		{"burst class", Action{At: 1, Op: OpBurst, Class: 9, Count: 3, Size: 100}},
+	}
+	for _, tc := range bad {
+		if err := tc.a.validate(classes); err == nil {
+			t.Errorf("%s: validate accepted %+v", tc.name, tc.a)
+		}
+	}
+	good := []Action{
+		{At: 0, Op: OpScaleLoad, Factor: 0.5},
+		{At: 1, Op: OpScaleClass, Class: 3, Factor: 2},
+		{At: 1, Op: OpSetLinkRate, Factor: 0.75},
+		{At: 1, Op: OpSourceOff, Class: 0},
+		{At: 1, Op: OpSourceOn, Class: 3},
+		{At: 1, Op: OpBurst, Class: 2, Count: 1, Size: 1},
+	}
+	for _, a := range good {
+		if err := a.validate(classes); err != nil {
+			t.Errorf("validate rejected %+v: %v", a, err)
+		}
+	}
+
+	tl := Timeline{Name: "x", Actions: []Action{good[0], {At: 2, Op: Op(99)}}}
+	if err := tl.Validate(classes); err == nil || !strings.Contains(err.Error(), "action 1") {
+		t.Errorf("Timeline.Validate = %v, want action-1 error", err)
+	}
+}
+
+func TestRampCompoundsToTarget(t *testing.T) {
+	acts := Ramp(100, 500, 8, 1.0, 1.36)
+	if len(acts) != 9 {
+		t.Fatalf("got %d actions, want 9", len(acts))
+	}
+	abs := 1.0
+	prevAt := math.Inf(-1)
+	for _, a := range acts {
+		if a.Op != OpScaleLoad {
+			t.Fatalf("unexpected op %v", a.Op)
+		}
+		if a.At < prevAt {
+			t.Fatalf("action times not monotone: %g after %g", a.At, prevAt)
+		}
+		prevAt = a.At
+		abs *= a.Factor
+	}
+	if math.Abs(abs-1.36) > 1e-12 {
+		t.Errorf("compound scale after ramp = %.15f, want 1.36", abs)
+	}
+	if acts[0].At != 100 || acts[len(acts)-1].At != 500 {
+		t.Errorf("ramp spans [%g,%g], want [100,500]", acts[0].At, acts[len(acts)-1].At)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Ramp accepted zero steps")
+		}
+	}()
+	Ramp(0, 1, 0, 1, 2)
+}
+
+func TestToggleAlternatesAndRestores(t *testing.T) {
+	// Four switch points: off, on, off, on — ends on, no restore needed.
+	acts := Toggle(3, 100, 50, 300)
+	wantOps := []Op{OpSourceOff, OpSourceOn, OpSourceOff, OpSourceOn}
+	if len(acts) != len(wantOps) {
+		t.Fatalf("got %d actions, want %d: %+v", len(acts), len(wantOps), acts)
+	}
+	for i, a := range acts {
+		if a.Op != wantOps[i] || a.Class != 3 {
+			t.Errorf("action %d = %v class %d, want %v class 3", i, a.Op, a.Class, wantOps[i])
+		}
+	}
+
+	// Three switch points end with the source off: a restore OpSourceOn
+	// must be appended at end so the tail of the run has all classes.
+	acts = Toggle(1, 0, 10, 30)
+	last := acts[len(acts)-1]
+	if last.Op != OpSourceOn || last.At != 30 {
+		t.Errorf("trailing action = %+v, want source-on at 30", last)
+	}
+	offs, ons := 0, 0
+	for _, a := range acts {
+		switch a.Op {
+		case OpSourceOff:
+			offs++
+		case OpSourceOn:
+			ons++
+		}
+	}
+	if offs != ons {
+		t.Errorf("unbalanced toggle: %d offs, %d ons", offs, ons)
+	}
+}
+
+func TestRegimeArithmetic(t *testing.T) {
+	r := newRegime(4)
+	base := []float64{4, 3, 2, 1} // packets per tu
+	// Unperturbed: byte rate 10*meanSize over capacity.
+	if got := r.rhoEff(base, 44.1, 441); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("base rhoEff = %g, want 1", got)
+	}
+	r.apply(Action{Op: OpScaleLoad, Factor: 0.5})
+	if got := r.rhoEff(base, 44.1, 441); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("after half load, rhoEff = %g, want 0.5", got)
+	}
+	r.apply(Action{Op: OpSourceOff, Class: 0}) // removes 4 of the 10 pkt/tu
+	if got := r.rhoEff(base, 44.1, 441); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("after class-0 off, rhoEff = %g, want 0.3", got)
+	}
+	r.apply(Action{Op: OpSetLinkRate, Factor: 0.5})
+	if got := r.rhoEff(base, 44.1, 441); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("after link halved, rhoEff = %g, want 0.6", got)
+	}
+	r.apply(Action{Op: OpSourceOn, Class: 0})
+	r.apply(Action{Op: OpScaleClass, Class: 0, Factor: 2})
+	// (4*2*0.5 + 3*0.5 + 2*0.5 + 1*0.5)*44.1 / (441*0.5) = 7/5 * ... = 1.4
+	if got := r.rhoEff(base, 44.1, 441); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("final rhoEff = %g, want 1.4", got)
+	}
+}
+
+func TestRatioWindowRegimes(t *testing.T) {
+	if _, _, judged := ratioWindow(0.5, false); judged {
+		t.Error("light load must not be judged")
+	}
+	lo, hi, judged := ratioWindow(0.75, false)
+	if !judged || lo >= hi {
+		t.Errorf("moderate load window [%g,%g] judged=%v", lo, hi, judged)
+	}
+	lo2, hi2, judged := ratioWindow(0.95, false)
+	if !judged || lo2 < lo || hi2 > hi {
+		t.Errorf("heavy window [%g,%g] should be tighter than moderate [%g,%g]", lo2, hi2, lo, hi)
+	}
+	if _, _, judged := ratioWindow(0.5, true); judged {
+		t.Error("flat light load must not be judged")
+	}
+	lo, hi, judged = ratioWindow(0.95, true)
+	if !judged || !(lo < 1 && 1 < hi) {
+		t.Errorf("flat window [%g,%g] must straddle 1", lo, hi)
+	}
+}

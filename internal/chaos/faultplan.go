@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// ErrInjected is the write error every injected egress failure returns.
+var ErrInjected = errors.New("chaos: injected egress write failure")
+
+// FaultPlan is a deterministic egress fault injector for the UDP forwarder
+// (it implements netio.FaultInjector). Faults trigger on every Nth egress
+// datagram — counted over first attempts, so retries of one datagram see a
+// consistent decision — which makes a plan's behaviour an exact function
+// of the datagram sequence. Setting Seed adds PCG-driven phase jitter:
+// each *Every trigger then hits a pseudorandom 1-in-N subset instead of a
+// fixed stride, still perfectly replayable from the seed.
+//
+// A single datagram matches at most one fault; precedence is persistent
+// failure, transient failure, corruption, truncation, duplication,
+// reordering, stall. All counters are written from the forwarder's single
+// transmit goroutine and may be read after Forwarder.Close returns.
+type FaultPlan struct {
+	// Name identifies the plan in reports.
+	Name string
+	// Seed, when nonzero, randomizes which datagrams each *Every trigger
+	// selects (probability 1/N per datagram) instead of a fixed stride.
+	Seed uint64
+
+	// CorruptEvery flips the version byte and a payload byte of a copy of
+	// every Nth datagram, so the receiver sees an undecodable datagram.
+	CorruptEvery uint64
+	// TruncateEvery sends only the first half of every Nth datagram.
+	TruncateEvery uint64
+	// DupEvery sends every Nth datagram twice.
+	DupEvery uint64
+	// ReorderEvery holds every Nth datagram back and emits it after the
+	// next datagram, swapping their wire order.
+	ReorderEvery uint64
+	// StallEvery sleeps Stall before sending every Nth datagram,
+	// modelling a receiver (or path) stall; the stall is paid out of the
+	// forwarder's pacer credit like any slow write.
+	StallEvery uint64
+	Stall      time.Duration
+	// TransientEvery fails the first TransientFails write attempts of
+	// every Nth datagram with ErrInjected; within the forwarder's retry
+	// budget the datagram still gets through, beyond it the datagram is
+	// drop-accounted.
+	TransientEvery uint64
+	TransientFails int
+	// FailFrom/FailTo inject a persistent outage: every attempt for
+	// datagrams with index in [FailFrom, FailTo) fails. The zero window
+	// disables the outage.
+	FailFrom, FailTo uint64
+
+	// Counts of injected faults (by datagram, not attempt).
+	Corrupted  uint64
+	Truncated  uint64
+	Duplicated uint64
+	Reordered  uint64
+	Stalled    uint64
+	Transient  uint64
+	Persistent uint64
+
+	rng  *rand.Rand
+	n    uint64 // first-attempt datagrams seen
+	idx  uint64 // index of the datagram currently being attempted
+	kind faultKind
+	held []byte // copied payload awaiting reordered emission
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultPersistent
+	faultTransient
+	faultCorrupt
+	faultTruncate
+	faultDup
+	faultReorder
+	faultStall
+)
+
+// hit reports whether an every-Nth trigger fires for the current datagram.
+func (f *FaultPlan) hit(every uint64) bool {
+	if every == 0 {
+		return false
+	}
+	if f.rng != nil {
+		return f.rng.Uint64()%every == 0
+	}
+	return f.idx%every == every-1
+}
+
+// classify decides (once, on attempt 0) which fault the datagram gets.
+func (f *FaultPlan) classify() faultKind {
+	switch {
+	case f.FailTo > f.FailFrom && f.idx >= f.FailFrom && f.idx < f.FailTo:
+		return faultPersistent
+	case f.hit(f.TransientEvery) && f.TransientFails > 0:
+		return faultTransient
+	case f.hit(f.CorruptEvery):
+		return faultCorrupt
+	case f.hit(f.TruncateEvery):
+		return faultTruncate
+	case f.hit(f.DupEvery):
+		return faultDup
+	case f.hit(f.ReorderEvery):
+		return faultReorder
+	case f.hit(f.StallEvery):
+		return faultStall
+	default:
+		return faultNone
+	}
+}
+
+// Write implements netio.FaultInjector.
+func (f *FaultPlan) Write(payload []byte, attempt int, send func([]byte) (int, error)) (int, error) {
+	if attempt == 0 {
+		if f.Seed != 0 && f.rng == nil {
+			f.rng = rand.New(rand.NewPCG(f.Seed, 0x5eed))
+		}
+		f.idx = f.n
+		f.n++
+		f.kind = f.classify()
+		switch f.kind {
+		case faultPersistent:
+			f.Persistent++
+		case faultTransient:
+			f.Transient++
+		case faultCorrupt:
+			f.Corrupted++
+		case faultTruncate:
+			f.Truncated++
+		case faultDup:
+			f.Duplicated++
+		case faultReorder:
+			f.Reordered++
+		case faultStall:
+			f.Stalled++
+		}
+	}
+
+	switch f.kind {
+	case faultPersistent:
+		return 0, ErrInjected
+	case faultTransient:
+		if attempt < f.TransientFails {
+			return 0, ErrInjected
+		}
+		return f.sendWithHeld(payload, send)
+	case faultCorrupt:
+		// Corrupt a copy: the forwarder recycles payload buffers, and a
+		// retry must start from the pristine bytes.
+		c := append([]byte(nil), payload...)
+		c[0] ^= 0xFF
+		c[len(c)/2] ^= 0xFF
+		return f.sendWithHeld(c, send)
+	case faultTruncate:
+		return f.sendWithHeld(payload[:len(payload)/2], send)
+	case faultDup:
+		if n, err := send(payload); err != nil {
+			return n, err
+		}
+		return f.sendWithHeld(payload, send)
+	case faultReorder:
+		if f.held != nil {
+			// A datagram is already held back; emit the older one first
+			// rather than holding two.
+			return f.sendWithHeld(payload, send)
+		}
+		// Claim success now; the copy goes out after the next datagram.
+		f.held = append([]byte(nil), payload...)
+		return len(payload), nil
+	case faultStall:
+		if f.Stall > 0 {
+			time.Sleep(f.Stall)
+		}
+		return f.sendWithHeld(payload, send)
+	default:
+		return f.sendWithHeld(payload, send)
+	}
+}
+
+// sendWithHeld transmits payload and then any held-back (reordered)
+// datagram, so the swap completes on the first following send.
+func (f *FaultPlan) sendWithHeld(payload []byte, send func([]byte) (int, error)) (int, error) {
+	n, err := send(payload)
+	if err != nil {
+		return n, err
+	}
+	if f.held != nil {
+		held := f.held
+		f.held = nil
+		// Best effort: a failed late emission is indistinguishable from
+		// wire loss of an already-acknowledged datagram.
+		send(held)
+	}
+	return n, nil
+}
+
+// Injected returns the total number of datagrams a fault was applied to.
+func (f *FaultPlan) Injected() uint64 {
+	return f.Corrupted + f.Truncated + f.Duplicated + f.Reordered +
+		f.Stalled + f.Transient + f.Persistent
+}

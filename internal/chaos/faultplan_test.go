@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fakeWire records every payload reaching the (fake) socket.
+type fakeWire struct {
+	sent [][]byte
+	errs []error // popped per call; nil slice = always succeed
+}
+
+func (w *fakeWire) send(p []byte) (int, error) {
+	if len(w.errs) > 0 {
+		err := w.errs[0]
+		w.errs = w.errs[1:]
+		if err != nil {
+			return 0, err
+		}
+	}
+	w.sent = append(w.sent, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// drive pushes n distinct datagrams through the plan, first attempts only.
+func drive(t *testing.T, f *FaultPlan, w *fakeWire, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		payload := []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}
+		if _, err := f.Write(payload, 0, w.send); err != nil {
+			t.Fatalf("datagram %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestFaultPlanCorrupt(t *testing.T) {
+	f := &FaultPlan{CorruptEvery: 3}
+	w := &fakeWire{}
+	drive(t, f, w, 9)
+	if f.Corrupted != 3 {
+		t.Fatalf("Corrupted = %d, want 3", f.Corrupted)
+	}
+	if len(w.sent) != 9 {
+		t.Fatalf("wire saw %d datagrams, want 9", len(w.sent))
+	}
+	// Every-3rd fires on indices 2, 5, 8; byte 0 and the middle byte flip.
+	for i, p := range w.sent {
+		corrupted := i%3 == 2
+		if got := p[0] != byte(i); got != corrupted {
+			t.Errorf("datagram %d corrupted=%v, want %v (byte0=%#x)", i, got, corrupted, p[0])
+		}
+		if corrupted && p[len(p)/2] == byte(len(p)/2) {
+			t.Errorf("datagram %d middle byte not flipped", i)
+		}
+	}
+}
+
+func TestFaultPlanCorruptDoesNotMutateCaller(t *testing.T) {
+	f := &FaultPlan{CorruptEvery: 1}
+	w := &fakeWire{}
+	payload := []byte{9, 9, 9, 9}
+	if _, err := f.Write(payload, 0, w.send); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, []byte{9, 9, 9, 9}) {
+		t.Errorf("caller's payload mutated: %v", payload)
+	}
+	if bytes.Equal(w.sent[0], payload) {
+		t.Error("wire payload not corrupted")
+	}
+}
+
+func TestFaultPlanTruncate(t *testing.T) {
+	f := &FaultPlan{TruncateEvery: 2}
+	w := &fakeWire{}
+	drive(t, f, w, 4)
+	if f.Truncated != 2 {
+		t.Fatalf("Truncated = %d, want 2", f.Truncated)
+	}
+	for i, p := range w.sent {
+		want := 8
+		if i%2 == 1 {
+			want = 4
+		}
+		if len(p) != want {
+			t.Errorf("datagram %d length %d, want %d", i, len(p), want)
+		}
+	}
+}
+
+func TestFaultPlanDup(t *testing.T) {
+	f := &FaultPlan{DupEvery: 2}
+	w := &fakeWire{}
+	drive(t, f, w, 4)
+	if f.Duplicated != 2 {
+		t.Fatalf("Duplicated = %d, want 2", f.Duplicated)
+	}
+	// Indices 1 and 3 go out twice: 0,1,1,2,3,3.
+	wantFirst := []byte{0, 1, 1, 2, 3, 3}
+	if len(w.sent) != len(wantFirst) {
+		t.Fatalf("wire saw %d datagrams, want %d", len(w.sent), len(wantFirst))
+	}
+	for i, p := range w.sent {
+		if p[0] != wantFirst[i] {
+			t.Errorf("wire position %d carries datagram %d, want %d", i, p[0], wantFirst[i])
+		}
+	}
+}
+
+func TestFaultPlanReorderSwapsWireOrder(t *testing.T) {
+	f := &FaultPlan{ReorderEvery: 3}
+	w := &fakeWire{}
+	drive(t, f, w, 6)
+	if f.Reordered != 2 {
+		t.Fatalf("Reordered = %d, want 2", f.Reordered)
+	}
+	// Datagrams 2 and 5 are held and emitted after their successors:
+	// 0,1,3,2,4,5 — datagram 5 has no successor inside the run, so it
+	// stays held (wire loss of an acknowledged datagram).
+	wantFirst := []byte{0, 1, 3, 2, 4}
+	if len(w.sent) != len(wantFirst) {
+		t.Fatalf("wire saw %d datagrams, want %d", len(w.sent), len(wantFirst))
+	}
+	for i, p := range w.sent {
+		if p[0] != wantFirst[i] {
+			t.Errorf("wire position %d carries datagram %d, want %d", i, p[0], wantFirst[i])
+		}
+	}
+}
+
+func TestFaultPlanTransientRecoversWithinRetries(t *testing.T) {
+	f := &FaultPlan{TransientEvery: 2, TransientFails: 2}
+	w := &fakeWire{}
+	// Datagram 0: no fault.
+	if _, err := f.Write([]byte{0}, 0, w.send); err != nil {
+		t.Fatal(err)
+	}
+	// Datagram 1: attempts 0 and 1 fail, attempt 2 succeeds.
+	for attempt, wantErr := range []bool{true, true, false} {
+		_, err := f.Write([]byte{1}, attempt, w.send)
+		if (err != nil) != wantErr {
+			t.Fatalf("attempt %d: err=%v, want error=%v", attempt, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err=%v, want ErrInjected", attempt, err)
+		}
+	}
+	if f.Transient != 1 {
+		t.Errorf("Transient = %d, want 1 (counted once per datagram, not per attempt)", f.Transient)
+	}
+	if len(w.sent) != 2 {
+		t.Errorf("wire saw %d datagrams, want 2", len(w.sent))
+	}
+}
+
+func TestFaultPlanPersistentWindowAndPrecedence(t *testing.T) {
+	// Corruption is also configured for every datagram, but the outage
+	// window wins inside [1, 3).
+	f := &FaultPlan{CorruptEvery: 1, FailFrom: 1, FailTo: 3}
+	w := &fakeWire{}
+	for i := 0; i < 4; i++ {
+		_, err := f.Write([]byte{byte(i), 0}, 0, w.send)
+		inWindow := i >= 1 && i < 3
+		if (err != nil) != inWindow {
+			t.Errorf("datagram %d: err=%v, want failure=%v", i, err, inWindow)
+		}
+	}
+	if f.Persistent != 2 || f.Corrupted != 2 {
+		t.Errorf("Persistent=%d Corrupted=%d, want 2/2", f.Persistent, f.Corrupted)
+	}
+	if got := f.Injected(); got != 4 {
+		t.Errorf("Injected() = %d, want 4", got)
+	}
+}
+
+func TestFaultPlanSeededIsDeterministic(t *testing.T) {
+	run := func() (uint64, []byte) {
+		f := &FaultPlan{Seed: 42, CorruptEvery: 4, DupEvery: 4}
+		w := &fakeWire{}
+		drive(t, f, w, 64)
+		var firsts []byte
+		for _, p := range w.sent {
+			firsts = append(firsts, p[0])
+		}
+		return f.Injected(), firsts
+	}
+	inj1, wire1 := run()
+	inj2, wire2 := run()
+	if inj1 != inj2 || !bytes.Equal(wire1, wire2) {
+		t.Errorf("seeded plan not reproducible: %d vs %d faults", inj1, inj2)
+	}
+	if inj1 == 0 {
+		t.Error("seeded plan never fired over 64 datagrams")
+	}
+
+	// A different seed must (overwhelmingly) pick a different subset.
+	f := &FaultPlan{Seed: 43, CorruptEvery: 4, DupEvery: 4}
+	w := &fakeWire{}
+	drive(t, f, w, 64)
+	var firsts []byte
+	for _, p := range w.sent {
+		firsts = append(firsts, p[0])
+	}
+	if bytes.Equal(firsts, wire1) {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+func TestFaultPlanRetryReusesDecision(t *testing.T) {
+	// The every-Nth counter advances on first attempts only: retrying a
+	// datagram must not consume the next datagram's fault decision.
+	f := &FaultPlan{CorruptEvery: 2}
+	w := &fakeWire{errs: []error{errors.New("socket hiccup")}}
+	if _, err := f.Write([]byte{0, 0}, 0, w.send); err == nil {
+		t.Fatal("expected the socket error to surface")
+	}
+	if _, err := f.Write([]byte{0, 0}, 1, w.send); err != nil {
+		t.Fatal(err)
+	}
+	// Datagram 1 is the every-2nd target even though datagram 0 took two
+	// attempts.
+	if _, err := f.Write([]byte{1, 0}, 0, w.send); err != nil {
+		t.Fatal(err)
+	}
+	if f.Corrupted != 1 {
+		t.Errorf("Corrupted = %d, want 1", f.Corrupted)
+	}
+	if last := w.sent[len(w.sent)-1]; last[0] == 1 {
+		t.Error("datagram 1 was not corrupted — retry consumed its decision")
+	}
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunNetCatalog drives every standard live-forwarder fault plan over
+// loopback with a short sending phase and checks the judged invariants:
+// exact conservation under injected faults, injectors actually firing, and
+// the plan-specific forwarding expectations.
+func TestRunNetCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback forwarder")
+	}
+	for _, plan := range NetPlans() {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			plan.Duration = 250 * time.Millisecond
+			res, err := RunNet(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ok() {
+				t.Errorf("violations: %v", res.Violations)
+			}
+			if !res.FaultsInjected {
+				t.Error("fault plan never fired")
+			}
+		})
+	}
+}
+
+// TestRunNetWireDisturbanceVisible: corruption-heavy plans must actually
+// disturb what the receiver sees — otherwise the injector is a no-op.
+func TestRunNetWireDisturbanceVisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback forwarder")
+	}
+	res, err := RunNet(NetPlan{
+		Name:            "corrupt-all",
+		Fault:           &FaultPlan{Name: "corrupt-all", CorruptEvery: 2},
+		Duration:        200 * time.Millisecond,
+		ExpectForwarded: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Errorf("violations: %v", res.Violations)
+	}
+	if !res.SinkDisturbed {
+		t.Error("half the datagrams were corrupted but the sink saw none")
+	}
+}
+
+func TestRunNetRejectsBadPlans(t *testing.T) {
+	if _, err := RunNet(NetPlan{}); err == nil {
+		t.Error("RunNet accepted a nameless plan")
+	}
+	if _, err := RunNet(NetPlan{Name: "tiny", Size: 4}); err == nil {
+		t.Error("RunNet accepted a sub-header datagram size")
+	}
+}

@@ -52,6 +52,17 @@ func (s *BPR) Name() string { return "BPR" }
 // Rate returns the configured link rate in bytes per time unit.
 func (s *BPR) Rate() float64 { return s.rate }
 
+// SetRate updates the link rate distributed by the fluid split. Scenario
+// harnesses call it when the simulated link's capacity changes mid-run
+// (see link.Link.SetRate); rates in effect stay fixed until the next
+// departure epoch, exactly like any other backlog change.
+func (s *BPR) SetRate(rate float64) {
+	if !(rate > 0) {
+		panic("core: BPR requires a positive link rate")
+	}
+	s.rate = rate
+}
+
 // Enqueue implements Scheduler.
 func (s *BPR) Enqueue(p *Packet, now float64) {
 	wasEmpty := s.q[p.Class].Empty()

@@ -61,7 +61,7 @@ func Feasibility(scale Scale) ([]FeasibilityPoint, error) {
 	}
 
 	out := make([]FeasibilityPoint, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
+	err := ForEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		tr, err := traffic.Record(j.load, link.PaperLinkRate, scale.FeasHorizon, BaseSeed)
 		if err != nil {

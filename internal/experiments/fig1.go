@@ -30,7 +30,7 @@ type Fig1Point struct {
 // seed order, so the result is identical to a serial sweep.
 func runAveraged(kind core.Kind, sdp []float64, load traffic.LoadSpec, scale Scale) (*stats.ClassDelays, error) {
 	results := make([]*stats.ClassDelays, scale.Seeds)
-	err := forEach(scale.Seeds, func(s int) error {
+	err := ForEach(scale.Seeds, func(s int) error {
 		res, err := runLink(link.RunConfig{
 			Kind:    kind,
 			SDP:     sdp,

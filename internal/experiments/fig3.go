@@ -44,7 +44,7 @@ func Fig3(sdp []float64, scale Scale) ([]Fig3Point, error) {
 		// Samples are pooled in seed order afterwards, so the percentiles
 		// are identical to a serial sweep.
 		perSeed := make([][]*stats.IntervalRD, scale.Seeds)
-		err := forEach(scale.Seeds, func(s int) error {
+		err := ForEach(scale.Seeds, func(s int) error {
 			seedTrackers := make([]*stats.IntervalRD, len(Fig3Taus))
 			observers := make([]func(*core.Packet), len(Fig3Taus))
 			for i, tau := range Fig3Taus {

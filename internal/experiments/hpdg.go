@@ -37,7 +37,7 @@ var HPDGs = []float64{0, 0.25, 0.5, 0.75, 0.875, 1}
 func HPDG(scale Scale) ([]HPDGPoint, error) {
 	longErrs := make([]float64, len(HPDGs))
 	spreads := make([]float64, len(HPDGs))
-	err := forEach(2*len(HPDGs), func(i int) error {
+	err := ForEach(2*len(HPDGs), func(i int) error {
 		gi, which := i/2, i%2
 		g := HPDGs[gi]
 		var err error

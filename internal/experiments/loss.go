@@ -68,7 +68,7 @@ func Loss(scale Scale) ([]LossPoint, error) {
 		}
 	}
 	out := make([]LossPoint, len(combos))
-	err := forEach(len(combos), func(i int) error {
+	err := ForEach(len(combos), func(i int) error {
 		c := combos[i]
 		point, err := lossRun(scale, c.policy, c.rho, c.buffer)
 		if err != nil {

@@ -38,7 +38,7 @@ func PathSched(scale Scale) ([]PathSchedPoint, error) {
 	// bounded worker pool; reduction walks it in (scheduler, seed) order.
 	nSeeds := scale.StudyBSeeds
 	results := make([]*network.Result, len(PathSchedulers)*nSeeds)
-	err := forEach(len(results), func(i int) error {
+	err := ForEach(len(results), func(i int) error {
 		ki, s := i/nSeeds, i%nSeeds
 		res, err := runNetwork(network.Config{
 			Hops:        4,

@@ -14,7 +14,7 @@ import (
 
 // This file is the shared replication runner: every experiment driver fans
 // its independent (seed, load-point, scheduler) runs out over a bounded
-// worker pool through forEach. Parallelism never reaches inside a run —
+// worker pool through ForEach. Parallelism never reaches inside a run —
 // each run owns a private engine, RNG streams and packet pool, so results
 // are bit-identical to a serial sweep — and reductions always happen in
 // job-index order after the pool drains, which keeps every figure and
@@ -41,12 +41,12 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs fn(i) for every i in [0, n) on at most Parallelism()
+// ForEach runs fn(i) for every i in [0, n) on at most Parallelism()
 // workers and returns the per-index errors joined in index order (nil when
 // all succeed). Every index runs regardless of other indices' failures, so
 // callers get the complete error picture — fn is responsible for wrapping
 // its error with enough context (seed, operating point) to be actionable.
-func forEach(n int, fn func(i int) error) error {
+func ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}

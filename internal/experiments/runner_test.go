@@ -16,11 +16,11 @@ import (
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
 	const n = 100
 	var counts [n]atomic.Int64
-	if err := forEach(n, func(i int) error {
+	if err := ForEach(n, func(i int) error {
 		counts[i].Add(1)
 		return nil
 	}); err != nil {
-		t.Fatalf("forEach: %v", err)
+		t.Fatalf("ForEach: %v", err)
 	}
 	for i := range counts {
 		if got := counts[i].Load(); got != 1 {
@@ -33,7 +33,7 @@ func TestForEachErrorsInIndexOrder(t *testing.T) {
 	// Errors must join in index order regardless of completion order, and
 	// every index must still run even when earlier ones fail.
 	var ran atomic.Int64
-	err := forEach(10, func(i int) error {
+	err := ForEach(10, func(i int) error {
 		ran.Add(1)
 		if i == 7 || i == 2 {
 			return fmt.Errorf("job %d failed", i)
@@ -41,7 +41,7 @@ func TestForEachErrorsInIndexOrder(t *testing.T) {
 		return nil
 	})
 	if err == nil {
-		t.Fatal("forEach: want error, got nil")
+		t.Fatal("ForEach: want error, got nil")
 	}
 	if got := ran.Load(); got != 10 {
 		t.Errorf("ran %d jobs, want 10 (failures must not cancel siblings)", got)
@@ -60,7 +60,7 @@ func TestForEachBoundsWorkers(t *testing.T) {
 	SetParallelism(3)
 	defer SetParallelism(0)
 	var inFlight, peak atomic.Int64
-	if err := forEach(50, func(i int) error {
+	if err := ForEach(50, func(i int) error {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -71,7 +71,7 @@ func TestForEachBoundsWorkers(t *testing.T) {
 		inFlight.Add(-1)
 		return nil
 	}); err != nil {
-		t.Fatalf("forEach: %v", err)
+		t.Fatalf("ForEach: %v", err)
 	}
 	if got := peak.Load(); got > 3 {
 		t.Errorf("observed %d concurrent jobs, want <= 3", got)
@@ -79,17 +79,17 @@ func TestForEachBoundsWorkers(t *testing.T) {
 }
 
 func TestForEachZeroAndSerial(t *testing.T) {
-	if err := forEach(0, func(int) error { return errors.New("must not run") }); err != nil {
-		t.Fatalf("forEach(0): %v", err)
+	if err := ForEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatalf("ForEach(0): %v", err)
 	}
 	SetParallelism(1)
 	defer SetParallelism(0)
 	order := make([]int, 0, 5)
-	if err := forEach(5, func(i int) error {
+	if err := ForEach(5, func(i int) error {
 		order = append(order, i) // safe: serial path runs on this goroutine
 		return nil
 	}); err != nil {
-		t.Fatalf("forEach: %v", err)
+		t.Fatalf("ForEach: %v", err)
 	}
 	for i, v := range order {
 		if v != i {
@@ -183,7 +183,7 @@ func TestForEachRaceStress(t *testing.T) {
 	defer SetParallelism(0)
 	var mu sync.Mutex
 	seen := make(map[int]bool)
-	if err := forEach(500, func(i int) error {
+	if err := ForEach(500, func(i int) error {
 		mu.Lock()
 		defer mu.Unlock()
 		if seen[i] {

@@ -50,7 +50,7 @@ func Table1(scale Scale) ([]Table1Cell, error) {
 	nSeeds := scale.StudyBSeeds
 	nJobs := len(Table1Rows) * len(Table1Cols) * nSeeds
 	results := make([]*network.Result, nJobs)
-	err := forEach(nJobs, func(i int) error {
+	err := ForEach(nJobs, func(i int) error {
 		s := i % nSeeds
 		ci := (i / nSeeds) % len(Table1Cols)
 		ri := i / (nSeeds * len(Table1Cols))

@@ -74,6 +74,22 @@ func New(engine *sim.Engine, rate float64, sched core.Scheduler) *Link {
 // Rate returns the link rate in bytes per time unit.
 func (l *Link) Rate() float64 { return l.rate }
 
+// SetRate changes the link rate, effective for transmissions started after
+// the call; a transmission already in flight completes at the old rate
+// (its completion event is scheduled). Chaos/scenario harnesses use it to
+// model capacity changes (rerouting, rate renegotiation) mid-run. Rate-
+// aware schedulers (BPR's fluid split) are informed through their own
+// SetRate.
+func (l *Link) SetRate(rate float64) {
+	if !(rate > 0) {
+		panic(fmt.Sprintf("link: rate %g must be > 0", rate))
+	}
+	l.rate = rate
+	if ra, ok := l.sched.(interface{ SetRate(float64) }); ok {
+		ra.SetRate(rate)
+	}
+}
+
 // Scheduler returns the attached scheduler.
 func (l *Link) Scheduler() core.Scheduler { return l.sched }
 

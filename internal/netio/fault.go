@@ -1,0 +1,36 @@
+package netio
+
+// FaultInjector intercepts every egress write attempt the forwarder makes,
+// generalizing what used to be an unexported test-only write hook into a
+// small public fault-injection surface (see internal/chaos.FaultPlan for
+// the standard deterministic implementation).
+//
+// The forwarder calls Write from its single transmit goroutine, once per
+// attempt of the bounded retry loop: attempt 0 is the first try for a
+// datagram, attempts 1..writeRetries are retries after transient errors.
+// The injector decides what actually reaches the wire:
+//
+//   - pass through: return send(payload);
+//   - simulate a transient or persistent write failure: return a non-nil
+//     error without calling send (the forwarder retries with backoff and
+//     drop-accounts the datagram when the budget is exhausted);
+//   - corrupt or truncate: send a mutated copy;
+//   - duplicate: call send more than once;
+//   - reorder or stall: hold a copy back and emit it on a later call, or
+//     sleep before sending (stall time is paid out of pacer credit, so
+//     stalls show up as rate degradation exactly like a slow receiver).
+//
+// Payload aliasing: the payload slice is only valid for the duration of
+// the call — the forwarder recycles datagram buffers — so an injector that
+// retains bytes (reordering, duplication across calls) must copy them.
+type FaultInjector interface {
+	Write(payload []byte, attempt int, send func([]byte) (int, error)) (int, error)
+}
+
+// FaultFunc adapts a plain function to the FaultInjector interface.
+type FaultFunc func(payload []byte, attempt int, send func([]byte) (int, error)) (int, error)
+
+// Write implements FaultInjector.
+func (f FaultFunc) Write(payload []byte, attempt int, send func([]byte) (int, error)) (int, error) {
+	return f(payload, attempt, send)
+}

@@ -49,10 +49,13 @@ type Config struct {
 	// created automatically when Telemetry is nil.
 	MetricsAddr string
 
-	// egressWrite, when non-nil, replaces the egress socket write.
-	// Package tests inject deterministic transient and persistent write
-	// failures through it; production configs cannot set it.
-	egressWrite func(p []byte) (int, error)
+	// Fault, when non-nil, intercepts every egress write attempt for
+	// fault injection — packet corruption, truncation, duplication,
+	// reordering, receiver stalls, and transient or persistent write
+	// errors (see FaultInjector). Faults compose with the normal retry
+	// and drop accounting, so the conservation invariant holds under any
+	// injected behaviour. Leave nil in production.
+	Fault FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -436,18 +439,24 @@ func (f *Forwarder) sleepUntil(t time.Time) {
 var errNoEgress = errors.New("netio: egress socket unavailable")
 
 // write sends one datagram, retrying transient errors with doubling
-// backoff before giving up. Retry time is paid out of pacer credit.
+// backoff before giving up. Retry time is paid out of pacer credit. A
+// configured FaultInjector wraps every attempt.
 func (f *Forwarder) write(out *net.UDPConn, payload []byte) error {
-	send := f.cfg.egressWrite
-	if send == nil {
-		if out == nil {
-			return errNoEgress
-		}
+	var send func(p []byte) (int, error)
+	if out == nil {
+		send = func([]byte) (int, error) { return 0, errNoEgress }
+	} else {
 		send = out.Write
 	}
+	fault := f.cfg.Fault
 	backoff := writeBackoffBase
 	for attempt := 0; ; attempt++ {
-		_, err := send(payload)
+		var err error
+		if fault != nil {
+			_, err = fault.Write(payload, attempt, send)
+		} else {
+			_, err = send(payload)
+		}
 		if err == nil || attempt >= writeRetries || f.abort.Load() {
 			return err
 		}

@@ -181,10 +181,10 @@ func TestForwarderWriteFailureAccounting(t *testing.T) {
 		SDP:       []float64{1, 4},
 		RateBps:   8e6,
 		Telemetry: reg,
-		egressWrite: func(p []byte) (int, error) {
+		Fault: FaultFunc(func(p []byte, attempt int, send func([]byte) (int, error)) (int, error) {
 			attempts.Add(1)
 			return 0, errInjected
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -227,11 +227,6 @@ var errInjected = errors.New("injected egress failure")
 // datagram is forwarded, not dropped, and nothing is double-counted.
 func TestForwarderWriteRetryRecovers(t *testing.T) {
 	recv := sink(t)
-	out, err := net.DialUDP("udp", nil, recv.LocalAddr().(*net.UDPAddr))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer out.Close()
 	reg := telemetry.NewWithSDP([]float64{1, 4})
 	// failures is touched only by the single transmit goroutine.
 	failures := make(map[uint64]int)
@@ -241,7 +236,7 @@ func TestForwarderWriteRetryRecovers(t *testing.T) {
 		SDP:       []float64{1, 4},
 		RateBps:   8e6,
 		Telemetry: reg,
-		egressWrite: func(p []byte) (int, error) {
+		Fault: FaultFunc(func(p []byte, attempt int, send func([]byte) (int, error)) (int, error) {
 			// Fail the first two attempts of every datagram, then
 			// deliver it for real.
 			h, _, err := Decode(p)
@@ -253,8 +248,8 @@ func TestForwarderWriteRetryRecovers(t *testing.T) {
 				failures[h.Seq]++
 				return 0, errInjected
 			}
-			return out.Write(p)
-		},
+			return send(p)
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -57,6 +57,11 @@ type Config struct {
 	// arrivals, departures, drops and queueing delays per class across
 	// the whole path (live observability; see internal/telemetry).
 	Telemetry *telemetry.Registry
+	// OnHopLink, if set, observes every hop's fully wired link before the
+	// simulation starts — the seam chaos/scenario harnesses use to attach
+	// per-hop perturbations (e.g. scheduled SetRate flaps) without the
+	// network package knowing about them.
+	OnHopLink func(hop int, l *link.Link)
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +220,12 @@ func Run(cfg Config) (*Result, error) {
 				delivered++
 			}
 			pool.Put(p)
+		}
+	}
+
+	if cfg.OnHopLink != nil {
+		for h, l := range links {
+			cfg.OnHopLink(h, l)
 		}
 	}
 

@@ -157,6 +157,35 @@ func (e *Engine) AfterFunc(d float64, fn func(arg any), arg any) *Event {
 	return e.AtFunc(e.now+d, fn, arg)
 }
 
+// ticker is the closure-free state behind Every: a package-level fire
+// function plus this record keeps periodic scheduling allocation-free after
+// the first tick.
+type ticker struct {
+	engine *Engine
+	period float64
+	fn     func(arg any) bool
+	arg    any
+}
+
+// tickerFire runs one tick and reschedules while fn keeps returning true.
+func tickerFire(a any) {
+	t := a.(*ticker)
+	if t.fn(t.arg) {
+		t.engine.AtFunc(t.engine.now+t.period, tickerFire, t)
+	}
+}
+
+// Every schedules fn(arg) at start and then every period time units until
+// fn returns false. It is the periodic-sampling primitive used by
+// observability and chaos harnesses (telemetry snapshots, scenario
+// monitors); like AtFunc it boxes no closure per tick.
+func (e *Engine) Every(start, period float64, fn func(arg any) bool, arg any) {
+	if !(period > 0) {
+		panic(fmt.Sprintf("sim: Every period %g must be > 0", period))
+	}
+	e.AtFunc(start, tickerFire, &ticker{engine: e, period: period, fn: fn, arg: arg})
+}
+
 // Cancel removes a pending event so it will never run. Canceling an event
 // that already fired (or was already canceled) is a no-op, but the handle
 // must not be retained past the event's scheduled time: the engine recycles

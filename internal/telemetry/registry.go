@@ -254,6 +254,33 @@ func (s Snapshot) MaxDeviation() (dev float64, pairs int) {
 	return dev, pairs
 }
 
+// DecreasedFrom compares two cumulative snapshots of the same registry and
+// returns a description of every counter that moved backwards (nil when
+// all are monotone). Cumulative counters only ever Add, so any decrease is
+// an instrumentation bug — the chaos stress harness samples snapshots
+// periodically and asserts this stays empty across every perturbation.
+func (s Snapshot) DecreasedFrom(prev Snapshot) []string {
+	var out []string
+	for i := range s.Classes {
+		if i >= len(prev.Classes) {
+			break
+		}
+		cur, p := s.Classes[i], prev.Classes[i]
+		check := func(name string, now, before uint64) {
+			if now < before {
+				out = append(out, fmt.Sprintf("class %d %s decreased %d -> %d", i, name, before, now))
+			}
+		}
+		check("arrivals", cur.Arrivals, p.Arrivals)
+		check("departures", cur.Departures, p.Departures)
+		check("drops", cur.Drops, p.Drops)
+		check("arrived-bytes", cur.ArrivedBytes, p.ArrivedBytes)
+		check("departed-bytes", cur.DepartedBytes, p.DepartedBytes)
+		check("delay-samples", cur.Delay.Count, p.Delay.Count)
+	}
+	return out
+}
+
 // Totals sums the event counters over classes.
 func (s Snapshot) Totals() (arrivals, departures, drops uint64) {
 	for _, c := range s.Classes {

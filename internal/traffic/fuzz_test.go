@@ -6,19 +6,55 @@ import (
 	"testing"
 )
 
-// FuzzReadTraceCSV exercises the trace parser with arbitrary text: it must
+// FuzzTraceCSV exercises the trace parser with arbitrary text: it must
 // never panic, and every accepted trace must survive a write/read round
-// trip unchanged.
-func FuzzReadTraceCSV(f *testing.F) {
+// trip unchanged. Seeds cover the realistic hostile inputs: malformed and
+// truncated rows, huge numeric fields, embedded NULs, a UTF-8 BOM, and
+// CRLF line endings.
+func FuzzTraceCSV(f *testing.F) {
 	f.Add("")
 	f.Add("# pdds trace classes=2 horizon=10\n0,100,1\n1,550,2.5\n")
 	f.Add("# pdds trace classes=4 horizon=1e6\n# comment\n\n3,1500,0\n")
 	f.Add("# pdds trace classes=2 horizon=10\n0,100,nan\n")
+	// BOM before the header; CRLF line endings.
+	f.Add("\ufeff# pdds trace classes=2 horizon=10\r\n0,100,1\r\n1,550,2\r\n")
+	// Malformed rows: wrong arity, empty fields, non-numeric junk.
+	f.Add("# pdds trace classes=2 horizon=10\n0,100\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,100,1,extra\n")
+	f.Add("# pdds trace classes=2 horizon=10\n,,\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,1e2,xyz\n")
+	// Huge fields: overflow-scale integers, giant floats, a very long
+	// digit string, and a header with absurd values.
+	f.Add("# pdds trace classes=2 horizon=10\n0,99999999999999999999999999,1\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,100,1e308\n1,100,1e309\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0," + strings.Repeat("9", 5000) + ",1\n")
+	f.Add("# pdds trace classes=999999999999 horizon=1e999\n")
+	// Out-of-range and out-of-order values.
+	f.Add("# pdds trace classes=2 horizon=10\n5,100,1\n")
+	f.Add("# pdds trace classes=2 horizon=10\n-1,100,1\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,-100,1\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,100,5\n0,100,1\n")
+	f.Add("# pdds trace classes=2 horizon=10\n0,100,1\x00\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		tr, err := ReadTraceCSV(strings.NewReader(data))
 		if err != nil {
 			return
 		}
+		// Accepted traces obey the documented invariants...
+		var prev float64
+		for i, a := range tr.Arrivals {
+			if a.Class < 0 || a.Class >= tr.Classes {
+				t.Fatalf("arrival %d: class %d outside [0,%d)", i, a.Class, tr.Classes)
+			}
+			if a.Size <= 0 {
+				t.Fatalf("arrival %d: size %d", i, a.Size)
+			}
+			if a.Time < prev {
+				t.Fatalf("arrival %d: time %g before %g", i, a.Time, prev)
+			}
+			prev = a.Time
+		}
+		// ...and round-trip bit-exactly.
 		var buf bytes.Buffer
 		if err := tr.WriteCSV(&buf); err != nil {
 			t.Fatalf("rewrite failed: %v", err)

@@ -27,11 +27,13 @@ type Source struct {
 	// lifetime rules. A nil Pool allocates per packet.
 	Pool *core.PacketPool
 
-	engine *sim.Engine
-	sink   Sink
-	nextID uint64
-	idBase uint64
-	count  uint64
+	engine  *sim.Engine
+	sink    Sink
+	nextID  uint64
+	idBase  uint64
+	count   uint64
+	pending *sim.Event // the scheduled next emission; nil while emitting or paused
+	paused  bool
 }
 
 // Start begins emitting packets into sink on the engine. The first packet
@@ -57,10 +59,55 @@ func sourceEmit(arg any) { arg.(*Source).emit() }
 
 func (s *Source) scheduleNext() {
 	d := s.Inter.Next(s.RNG)
-	s.engine.AfterFunc(d, sourceEmit, s)
+	s.pending = s.engine.AfterFunc(d, sourceEmit, s)
 }
 
+// SetInter switches the source to a new interarrival distribution,
+// effective immediately: the already-scheduled next arrival is canceled and
+// redrawn from the new distribution. An immediate redraw matters for load
+// steps under heavy-tailed interarrivals, where the pending draw can lie
+// arbitrarily far in the future. No-op while paused (the new distribution
+// is used on Resume) or before Start.
+func (s *Source) SetInter(inter Interarrival) {
+	if inter == nil {
+		panic("traffic: SetInter with nil distribution")
+	}
+	s.Inter = inter
+	if s.pending != nil {
+		s.engine.Cancel(s.pending)
+		s.pending = nil
+		s.scheduleNext()
+	}
+}
+
+// Pause stops emission: the pending next arrival is canceled. No-op when
+// already paused or not started.
+func (s *Source) Pause() {
+	if s.engine == nil || s.paused {
+		return
+	}
+	s.paused = true
+	if s.pending != nil {
+		s.engine.Cancel(s.pending)
+		s.pending = nil
+	}
+}
+
+// Resume restarts a paused source; the next arrival is one fresh
+// interarrival draw after the current simulation time.
+func (s *Source) Resume() {
+	if s.engine == nil || !s.paused {
+		return
+	}
+	s.paused = false
+	s.scheduleNext()
+}
+
+// Paused reports whether the source is currently paused.
+func (s *Source) Paused() bool { return s.paused }
+
 func (s *Source) emit() {
+	s.pending = nil
 	now := s.engine.Now()
 	s.nextID++
 	s.count++
@@ -133,6 +180,21 @@ func (l LoadSpec) Rates(linkRate float64) []float64 {
 	return rates
 }
 
+// Inter returns the spec's interarrival distribution for an arrival rate
+// of lambda packets per time unit — Pareto(Alpha) or exponential per the
+// spec. Chaos/scenario harnesses use it to rebuild a source's distribution
+// at a new rate mid-run (see Source.SetInter).
+func (l LoadSpec) Inter(lambda float64) Interarrival {
+	if !(lambda > 0) {
+		panic(fmt.Sprintf("traffic: interarrival rate %g must be > 0", lambda))
+	}
+	mean := 1 / lambda
+	if l.Poisson {
+		return NewExponential(mean)
+	}
+	return NewPareto(l.Alpha, mean)
+}
+
 // Build creates one Source per class with independent RNG streams derived
 // from seed, and returns them (classes with zero fraction get no source).
 // Call Start on each to begin the workload.
@@ -146,13 +208,7 @@ func (l LoadSpec) Build(linkRate float64, seed uint64) ([]*Source, error) {
 		if lambda == 0 {
 			continue
 		}
-		mean := 1 / lambda
-		var inter Interarrival
-		if l.Poisson {
-			inter = NewExponential(mean)
-		} else {
-			inter = NewPareto(l.Alpha, mean)
-		}
+		inter := l.Inter(lambda)
 		sources = append(sources, &Source{
 			Class: class,
 			Inter: inter,

@@ -34,7 +34,10 @@ func ReadTraceCSV(r io.Reader) (*Trace, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("traffic: empty trace file")
 	}
-	header := sc.Text()
+	// Tolerate files round-tripped through Windows editors: a UTF-8 BOM
+	// before the header (CRLF line ends are already handled by the
+	// scanner's line splitting).
+	header := strings.TrimPrefix(sc.Text(), "\ufeff")
 	tr := &Trace{}
 	if n, err := fmt.Sscanf(header, "# pdds trace classes=%d horizon=%g", &tr.Classes, &tr.Horizon); err != nil || n != 2 {
 		return nil, fmt.Errorf("traffic: bad trace header %q", header)

@@ -92,3 +92,26 @@ func TestReadTraceCSVSkipsCommentsAndBlanks(t *testing.T) {
 		t.Fatalf("parsed %+v", tr.Arrivals)
 	}
 }
+
+func TestReadTraceCSVBOMAndCRLF(t *testing.T) {
+	// A trace round-tripped through a Windows editor gains a UTF-8 BOM
+	// and CRLF line endings; both must parse as the plain file would.
+	in := "\ufeff# pdds trace classes=2 horizon=10\r\n0,100,1\r\n1,550,2.5\r\n"
+	tr, err := ReadTraceCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Classes != 2 || tr.Horizon != 10 || len(tr.Arrivals) != 2 {
+		t.Fatalf("parsed %d classes, horizon %g, %d arrivals", tr.Classes, tr.Horizon, len(tr.Arrivals))
+	}
+	want := []Arrival{{Class: 0, Size: 100, Time: 1}, {Class: 1, Size: 550, Time: 2.5}}
+	for i, a := range tr.Arrivals {
+		if a != want[i] {
+			t.Errorf("arrival %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	// A BOM anywhere else is still junk.
+	if _, err := ReadTraceCSV(strings.NewReader("# pdds trace classes=2 horizon=10\n\ufeff0,100,1\n")); err == nil {
+		t.Error("mid-file BOM accepted")
+	}
+}

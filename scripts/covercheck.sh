@@ -1,0 +1,36 @@
+#!/bin/sh
+# covercheck.sh: run `go test -cover ./...` and fail if any package named
+# in COVERAGE.md reports statement coverage below its floor. Invoked by
+# `make cover`; run it from the repository root.
+set -u
+
+out=$(${GO:-go} test -cover ./...) || { printf '%s\n' "$out"; exit 1; }
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+	# First input: the floor table in COVERAGE.md.
+	NR == FNR {
+		if ($1 == "|" && $2 ~ /^pdds/) floor[$2] = $4 + 0
+		next
+	}
+	# Second input: go test -cover output lines like
+	#   ok  pdds/internal/core  0.08s  coverage: 94.2% of statements
+	$1 == "ok" {
+		for (i = 1; i <= NF; i++)
+			if ($i == "coverage:") { pct = $(i + 1); sub(/%/, "", pct); cov[$2] = pct + 0 }
+	}
+	END {
+		bad = 0
+		for (p in floor) {
+			if (!(p in cov)) {
+				printf "covercheck: no coverage reported for %s (package removed? update COVERAGE.md)\n", p
+				bad = 1
+			} else if (cov[p] < floor[p]) {
+				printf "covercheck: %s at %.1f%% is below its %d%% floor (see COVERAGE.md)\n", p, cov[p], floor[p]
+				bad = 1
+			}
+		}
+		if (!bad) print "covercheck: all floors met"
+		exit bad
+	}
+' COVERAGE.md -
