@@ -72,11 +72,12 @@ conformance:
 golden-update:
 	$(GO) test ./internal/conformance/ -run TestGoldenTraces -update
 
-# Brief fuzzing passes over the two wire/file parsers.
+# Brief fuzzing passes over the wire/file parsers.
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/netio/
 	$(GO) test -fuzz FuzzTraceCSV -fuzztime 30s ./internal/traffic/
 	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
+	$(GO) test -fuzz FuzzClassConfig -fuzztime 30s ./internal/classify/
 
 # Short fuzzing passes over the scheduler data structures: the fifo ring,
 # the WTP selection scan, and the calendar queue vs the binary heap.
@@ -85,6 +86,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzWTPScan -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
 	$(GO) test -fuzz FuzzTraceCSV -fuzztime 10s ./internal/traffic/
+	$(GO) test -fuzz FuzzClassConfig -fuzztime 10s ./internal/classify/
 
 # Short loopback soak: saturate a live forwarder via cmd/pdload and fail
 # unless the achieved egress rate is within ±2% of the configured rate
@@ -95,7 +97,7 @@ soak:
 # Chaos/fault stress matrix (cmd/pdstress): the scenario catalog across
 # {WTP,BPR,FCFS} plus the live-forwarder egress fault plans, judged on
 # conservation, pool leaks, telemetry monotonicity and PDD ratio windows.
-# `stress` is the CI-sized run; `stress-full` drives ~12M packets.
+# `stress` is the CI-sized run; `stress-full` drives ~13M packets.
 stress:
 	$(GO) run ./cmd/pdstress -scale quick -net
 

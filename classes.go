@@ -1,0 +1,81 @@
+package pdds
+
+import (
+	"io"
+
+	"pdds/internal/classify"
+	"pdds/internal/netio"
+)
+
+// ClassUnspecified is the sentinel class byte senders use to ask the
+// forwarder's classifier to pick the class from flow identity (source
+// address/port, protocol) and the DS byte. Without a class config loaded,
+// datagrams carrying it count as BadClass.
+const ClassUnspecified = netio.ClassUnspecified
+
+// ClassConfig is a validated set of traffic-class declarations for a
+// classifying forwarder edge: named classes with delay differentiation
+// parameters (DDPs), match filters, an optional default class, and
+// optional per-class queue bounds. Build one with LoadClassConfig or
+// ParseClassConfig and pass it via ForwarderConfig.Classes.
+type ClassConfig struct {
+	inner *classify.Config
+}
+
+// LoadClassConfig parses the traffic-class config file at path. The
+// format is line oriented:
+//
+//	class bulk          # first class = class 0 = highest-delay class
+//	  ddp 4             # relative delay target, non-increasing down the file
+//	  default           # unmatched traffic lands here
+//	class interactive
+//	  ddp 1
+//	  match dst-port 5000-5999
+//	  match dscp 46
+//
+// Each `match` line ANDs its elements (src/dst prefixes, src-port and
+// dst-port ranges, proto, dscp, exact flow 5-tuples); a class's match
+// lines are ORed; classification is first-match-wins in declaration
+// order.
+func LoadClassConfig(path string) (*ClassConfig, error) {
+	cfg, err := classify.LoadConfig(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ClassConfig{inner: cfg}, nil
+}
+
+// ParseClassConfig reads a traffic-class config from r (same format as
+// LoadClassConfig).
+func ParseClassConfig(r io.Reader) (*ClassConfig, error) {
+	cfg, err := classify.ParseConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ClassConfig{inner: cfg}, nil
+}
+
+// NumClasses returns the number of declared classes.
+func (c *ClassConfig) NumClasses() int { return len(c.inner.Classes) }
+
+// Names returns the class names in index order (index 0 = lowest class).
+func (c *ClassConfig) Names() []string { return c.inner.Names() }
+
+// DDPs returns the declared delay differentiation parameters in index
+// order.
+func (c *ClassConfig) DDPs() []float64 {
+	out := make([]float64, len(c.inner.Classes))
+	for i, tc := range c.inner.Classes {
+		out[i] = tc.DDP
+	}
+	return out
+}
+
+// SDPs returns the scheduler differentiation parameters derived from the
+// DDPs: SDP(i) = maxDDP/DDP(i), so delay(i)/delay(j) tracks DDP(i)/DDP(j)
+// under the proportional model.
+func (c *ClassConfig) SDPs() []float64 { return c.inner.SDPs() }
+
+// DefaultClass returns the default class index, or -1 when the config
+// declares none (unmatched traffic is then counted as BadClass).
+func (c *ClassConfig) DefaultClass() int { return c.inner.DefaultClass() }

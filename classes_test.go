@@ -1,0 +1,156 @@
+package pdds
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testClassConfig = `
+class bulk
+  ddp 4
+  default
+class interactive
+  ddp 1
+  match dscp 46
+`
+
+func TestClassConfigFacade(t *testing.T) {
+	cfg, err := ParseClassConfig(strings.NewReader(testClassConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumClasses() != 2 {
+		t.Fatalf("NumClasses = %d", cfg.NumClasses())
+	}
+	if names := cfg.Names(); len(names) != 2 || names[0] != "bulk" || names[1] != "interactive" {
+		t.Fatalf("Names = %v", names)
+	}
+	if ddps := cfg.DDPs(); len(ddps) != 2 || ddps[0] != 4 || ddps[1] != 1 {
+		t.Fatalf("DDPs = %v", ddps)
+	}
+	if sdps := cfg.SDPs(); len(sdps) != 2 || sdps[0] != 1 || sdps[1] != 4 {
+		t.Fatalf("SDPs = %v", sdps)
+	}
+	if cfg.DefaultClass() != 0 {
+		t.Fatalf("DefaultClass = %d", cfg.DefaultClass())
+	}
+
+	if _, err := ParseClassConfig(strings.NewReader("class x\n")); err == nil {
+		t.Fatal("config without ddp accepted")
+	}
+	if _, err := LoadClassConfig("testdata/no-such-classes.conf"); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}
+
+// TestForwarderWithClasses drives the classifying facade end to end:
+// SDPs derive from the config's DDPs, untagged datagrams land in the
+// default class, DSCP-marked ones in their filtered class, and the live
+// class snapshots carry the configured names.
+func TestForwarderWithClasses(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	cfg, err := ParseClassConfig(strings.NewReader(testClassConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := StartForwarderWithConfig(ForwarderConfig{
+		Listen:  "127.0.0.1:0",
+		Forward: recv.LocalAddr().String(),
+		RateBps: 10e6,
+		Classes: cfg,
+		FlowTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	// Distinct sockets per stream: the flow table memoizes per 5-tuple.
+	untagged, err := net.Dial("udp", fwd.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer untagged.Close()
+	marked, err := net.Dial("udp", fwd.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer marked.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := untagged.Write(EncodeDatagram(ClassUnspecified, uint64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := marked.Write(EncodeDatagram(46, uint64(i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := fwd.Stats()
+		if st.Forwarded >= 2*n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("forwarder never drained: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := fwd.Stats(); st.BadClass != 0 || st.BadHeader != 0 {
+		t.Fatalf("classified run: %+v", st)
+	}
+
+	classes := fwd.ClassStats()
+	if len(classes) != 2 || classes[0].Name != "bulk" || classes[1].Name != "interactive" {
+		t.Fatalf("class stats: %+v", classes)
+	}
+	for _, c := range classes {
+		if c.Arrivals != n || c.Departures != n {
+			t.Errorf("class %s: %d arrivals %d departures, want %d each",
+				c.Name, c.Arrivals, c.Departures, n)
+		}
+	}
+	if ratios := fwd.DelayRatios(); len(ratios) != 1 {
+		t.Fatalf("delay ratios: %v", ratios)
+	}
+}
+
+// TestForwarderWithoutClassifierCountsBadClass: with no class config, an
+// untagged datagram has no resolution path and lands in BadClass.
+func TestForwarderWithoutClassifierCountsBadClass(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	fwd, err := StartForwarder("127.0.0.1:0", recv.LocalAddr().String(), WTP, nil, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	send, err := net.Dial("udp", fwd.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	if _, err := send.Write(EncodeDatagram(ClassUnspecified, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fwd.Stats().BadClass == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("BadClass never counted: %+v", fwd.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

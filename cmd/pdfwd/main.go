@@ -12,6 +12,14 @@
 // (human view) and /debug/pprof/ (profiling), and a per-class summary
 // line is printed at every stats interval.
 //
+// With -classes set, the forwarder becomes a classifying edge: a
+// traffic-class config file names the classes, declares their delay
+// differentiation parameters (from which the scheduler SDPs are
+// derived), and attaches match filters; datagrams tagged with the
+// ClassUnspecified byte (0xFF) or an out-of-range class are classified
+// by flow identity and re-marked. See testdata/classes.conf for a
+// worked example.
+//
 // Example:
 //
 //	pdfwd -listen 127.0.0.1:7000 -forward 127.0.0.1:7001 -rate 1000000 \
@@ -49,26 +57,77 @@ func parseArgs(args []string) (options, error) {
 		stats       = fs.Duration("stats", 5*time.Second, "stats print interval")
 		drain       = fs.Duration("drain", time.Second, "graceful drain budget on shutdown (0 = drop queued datagrams)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this HTTP address (empty = disabled)")
+		classesPath = fs.String("classes", "", "traffic-class config file: classify untagged/unresolvable datagrams and derive SDPs from the declared DDPs")
+		distrust    = fs.String("distrust-class", "false", "with -classes: classify every datagram from flow identity, ignoring in-range header class bytes (true|false)")
+		flowTTL     = fs.Duration("flow-ttl", 2*time.Minute, "with -classes: idle eviction age for memoized flow→class decisions (0 = never expire)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
+	sdpSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sdp" {
+			sdpSet = true
+		}
+	})
 	sdp, err := cliutil.ParseFloats(*sdpStr)
 	if err != nil {
 		return options{}, fmt.Errorf("-sdp: %v", err)
 	}
-	return options{
-		cfg: pdds.ForwarderConfig{
-			Listen:       *listen,
-			Forward:      *forward,
-			Scheduler:    pdds.SchedulerKind(*sched),
-			SDP:          sdp,
-			RateBps:      *rate,
-			DrainTimeout: *drain,
-			MetricsAddr:  *metricsAddr,
-		},
-		interval: *stats,
-	}, nil
+	distrustClass := *distrust == "true"
+	if !distrustClass && *distrust != "false" {
+		return options{}, fmt.Errorf("-distrust-class: want true or false, got %q", *distrust)
+	}
+	cfg := pdds.ForwarderConfig{
+		Listen:         *listen,
+		Forward:        *forward,
+		Scheduler:      pdds.SchedulerKind(*sched),
+		SDP:            sdp,
+		RateBps:        *rate,
+		DrainTimeout:   *drain,
+		MetricsAddr:    *metricsAddr,
+		DistrustHeader: distrustClass,
+		FlowTTL:        *flowTTL,
+	}
+	if *classesPath != "" {
+		classes, err := pdds.LoadClassConfig(*classesPath)
+		if err != nil {
+			return options{}, fmt.Errorf("-classes: %v", err)
+		}
+		cfg.Classes = classes
+		if !sdpSet {
+			// Let the class config's DDPs drive the scheduler spacing
+			// instead of the -sdp default.
+			cfg.SDP = nil
+		} else if len(sdp) != classes.NumClasses() {
+			return options{}, fmt.Errorf("-sdp declares %d classes, -classes %q declares %d",
+				len(sdp), *classesPath, classes.NumClasses())
+		}
+	} else if distrustClass {
+		return options{}, fmt.Errorf("-distrust-class requires -classes")
+	}
+	return options{cfg: cfg, interval: *stats}, nil
+}
+
+// classTable renders the startup view of the loaded traffic classes.
+func classTable(classes *pdds.ClassConfig, sdps []float64) string {
+	var b strings.Builder
+	names := classes.Names()
+	ddps := classes.DDPs()
+	def := classes.DefaultClass()
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%d=%s ddp=%g sdp=%g", i, name, ddps[i], sdps[i])
+		if i == def {
+			b.WriteString(" (default)")
+		}
+	}
+	if def < 0 {
+		b.WriteString("; no default: unmatched traffic counts as bad-class")
+	}
+	return b.String()
 }
 
 // summarize renders the periodic one-line status: aggregate counters plus
@@ -76,10 +135,14 @@ func parseArgs(args []string) (options, error) {
 // ratios from the telemetry registry.
 func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []float64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d queued=%d",
-		s.Received, s.Forwarded, s.Dropped, s.BadHeader, s.Queued)
+	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d queued=%d",
+		s.Received, s.Forwarded, s.Dropped, s.BadHeader, s.BadClass, s.Queued)
 	for _, c := range classes {
-		fmt.Fprintf(&b, " c%d=%d/%dq/%.1fms", c.Class, c.Departures, c.Backlog, c.DelayP99*1e3)
+		label := fmt.Sprintf("c%d", c.Class)
+		if c.Name != "" {
+			label = fmt.Sprintf("c%d[%s]", c.Class, c.Name)
+		}
+		fmt.Fprintf(&b, " %s=%d/%dq/%.1fms", label, c.Departures, c.Backlog, c.DelayP99*1e3)
 	}
 	if len(ratios) > 0 {
 		parts := make([]string, len(ratios))
@@ -104,8 +167,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fwd.Close()
+	sdp := opts.cfg.SDP
+	if classes := opts.cfg.Classes; classes != nil {
+		if sdp == nil {
+			sdp = classes.SDPs()
+		}
+		log.Printf("classes: %s", classTable(classes, sdp))
+	}
 	log.Printf("forwarding %s -> %s at %.0f bps with %s (SDP %v)",
-		fwd.Addr(), opts.cfg.Forward, opts.cfg.RateBps, opts.cfg.Scheduler, opts.cfg.SDP)
+		fwd.Addr(), opts.cfg.Forward, opts.cfg.RateBps, opts.cfg.Scheduler, sdp)
 	if addr := fwd.MetricsAddr(); addr != nil {
 		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", addr)
 	}

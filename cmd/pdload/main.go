@@ -5,17 +5,25 @@
 //
 //   - the achieved egress rate vs the configured -rate (the pacer must
 //     hold the link rate for any live DDP-ratio claim to be meaningful),
-//   - packet conservation (Received = Forwarded + Dropped + BadHeader
-//     exactly, with nothing left queued after the drain), and
+//   - packet conservation (Received = Forwarded + Dropped + BadHeader +
+//     BadClass exactly, with nothing left queued after the drain), and
 //   - the observed per-class delay ratios vs the SDP targets.
 //
+// With -flows N the sender becomes multi-flow: N distinct UDP sockets
+// per class emit untagged (ClassUnspecified) datagrams, and the
+// forwarder classifies them by flow identity against a generated
+// traffic-class config (one src-port filter per flow). Any
+// misclassified datagram surfaces as a bad-class count or a per-class
+// sink miscount, so the mode soaks the classifier edge end to end.
+//
 // It exits non-zero when the achieved rate deviates from -rate by more
-// than -tolerance or when any datagram is unaccounted, so it doubles as a
-// CI soak check (`make soak`).
+// than -tolerance, when any datagram is unaccounted, or when any
+// datagram's class could not be resolved, so it doubles as a CI soak
+// check (`make soak`).
 //
 // Example:
 //
-//	pdload -rate 4e6 -duration 5s -classes 4 -sdp 1,2,4,8
+//	pdload -rate 4e6 -duration 5s -classes 4 -sdp 1,2,4,8 -flows 8
 package main
 
 import (
@@ -53,11 +61,17 @@ type loadConfig struct {
 	SDP       []float64
 	MaxQueue  int           // forwarder queue bound (packets)
 	Drain     time.Duration // post-send drain budget
+	// FlowsPerClass, when > 0, switches to multi-flow mode: this many
+	// distinct sender sockets per class, all emitting untagged
+	// datagrams the forwarder must classify by flow identity.
+	FlowsPerClass int
 }
 
 // classResult is the per-class slice of a soak report.
 type classResult struct {
-	Class     int     `json:"class"`
+	Class int `json:"class"`
+	// Name is the class's label in multi-flow mode (empty otherwise).
+	Name      string  `json:"name,omitempty"`
 	Received  uint64  `json:"received"` // datagrams seen at the sink
 	DelayMean float64 `json:"delay_mean_sec"`
 	DelayP95  float64 `json:"delay_p95_sec"`
@@ -75,10 +89,18 @@ type loadReport struct {
 	Forwarded uint64 `json:"forwarded"`
 	Dropped   uint64 `json:"dropped"`
 	BadHeader uint64 `json:"bad_header"`
-	// Unaccounted is Received − Forwarded − Dropped − BadHeader − Queued;
-	// any nonzero value is an accounting bug in the forwarder.
+	// BadClass counts datagrams whose class could not be resolved; in
+	// multi-flow mode every flow has a matching filter, so any nonzero
+	// value is a classification failure.
+	BadClass uint64 `json:"bad_class"`
+	// Unaccounted is Received − Forwarded − Dropped − BadHeader −
+	// BadClass − Queued; any nonzero value is an accounting bug in the
+	// forwarder.
 	Unaccounted int64  `json:"unaccounted"`
 	SinkCount   uint64 `json:"sink_count"` // datagrams delivered end to end
+	// Flows is the number of distinct sender flows (0 in classic
+	// single-socket tagged mode).
+	Flows int `json:"flows,omitempty"`
 
 	DelayRatios  []float64     `json:"delay_ratios"`
 	TargetRatios []float64     `json:"target_ratios"`
@@ -99,6 +121,9 @@ func soak(cfg loadConfig) (loadReport, error) {
 	if cfg.Offered <= 1 {
 		return loadReport{}, fmt.Errorf("offered load factor %g must exceed 1 to saturate the egress", cfg.Offered)
 	}
+	if cfg.FlowsPerClass < 0 || cfg.FlowsPerClass > 256 {
+		return loadReport{}, fmt.Errorf("flows per class %d out of range [0,256]", cfg.FlowsPerClass)
+	}
 
 	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -109,6 +134,30 @@ func soak(cfg loadConfig) (loadReport, error) {
 	// the measurement.
 	sinkConn.SetReadBuffer(4 << 20)
 
+	// Multi-flow mode: bind the per-flow sender sockets first so their
+	// source ports are known, then generate a class config whose filters
+	// pin each flow to its class by src-port.
+	var flowConns [][]*net.UDPConn
+	var classCfg *pdds.ClassConfig
+	if cfg.FlowsPerClass > 0 {
+		flowConns = make([][]*net.UDPConn, cfg.Classes)
+		ports := make([][]uint16, cfg.Classes)
+		for c := range flowConns {
+			for i := 0; i < cfg.FlowsPerClass; i++ {
+				conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+				if err != nil {
+					return loadReport{}, err
+				}
+				defer conn.Close()
+				flowConns[c] = append(flowConns[c], conn)
+				ports[c] = append(ports[c], uint16(conn.LocalAddr().(*net.UDPAddr).Port))
+			}
+		}
+		if classCfg, err = flowClassConfig(cfg.SDP, ports); err != nil {
+			return loadReport{}, err
+		}
+	}
+
 	fwd, err := pdds.StartForwarderWithConfig(pdds.ForwarderConfig{
 		Listen:       "127.0.0.1:0",
 		Forward:      sinkConn.LocalAddr().String(),
@@ -117,6 +166,7 @@ func soak(cfg loadConfig) (loadReport, error) {
 		RateBps:      cfg.RateBps,
 		MaxPackets:   cfg.MaxQueue,
 		DrainTimeout: cfg.Drain,
+		Classes:      classCfg,
 	})
 	if err != nil {
 		return loadReport{}, err
@@ -162,22 +212,38 @@ func soak(cfg loadConfig) (loadReport, error) {
 		return loadReport{}, err
 	}
 	defer send.Close()
+	fwdAddr, err := net.ResolveUDPAddr("udp", fwd.Addr().String())
+	if err != nil {
+		return loadReport{}, err
+	}
 
 	// Paced sender: offered load = Offered × RateBps, round-robin over
 	// classes, absolute-clock pacing (send gaps don't accumulate drift).
+	// In multi-flow mode each class's datagrams rotate over its flow
+	// sockets and go out untagged — the forwarder must classify them.
 	var sent uint64
 	payload := make([]byte, cfg.Size-netio.HeaderLen)
 	gap := time.Duration(float64(cfg.Size*8) / (cfg.Offered * cfg.RateBps) * float64(time.Second))
 	stopAt := time.Now().Add(cfg.Duration)
 	next := time.Now()
 	for seq := uint64(0); time.Now().Before(stopAt); seq++ {
+		class := seq % uint64(cfg.Classes)
+		wireClass := uint8(class)
+		if flowConns != nil {
+			wireClass = pdds.ClassUnspecified
+		}
 		dg := netio.Header{
-			Class:  uint8(seq % uint64(cfg.Classes)),
+			Class:  wireClass,
 			Seq:    seq,
 			SentAt: time.Now(),
 		}.Encode(nil)
 		dg = append(dg, payload...)
-		if _, err := send.Write(dg); err != nil {
+		if flowConns != nil {
+			conn := flowConns[class][(seq/uint64(cfg.Classes))%uint64(cfg.FlowsPerClass)]
+			if _, err := conn.WriteToUDP(dg, fwdAddr); err != nil {
+				return loadReport{}, fmt.Errorf("flow sender: %w", err)
+			}
+		} else if _, err := send.Write(dg); err != nil {
 			return loadReport{}, fmt.Errorf("sender: %w", err)
 		}
 		sent++
@@ -193,7 +259,7 @@ func soak(cfg loadConfig) (loadReport, error) {
 	drainDeadline := time.Now().Add(time.Duration(cfg.MaxQueue)*txTime + 2*time.Second)
 	for {
 		st := fwd.Stats()
-		if st.Queued == 0 && st.Received == st.Forwarded+st.Dropped+st.BadHeader {
+		if st.Queued == 0 && st.Received == st.Forwarded+st.Dropped+st.BadHeader+st.BadClass {
 			break
 		}
 		if time.Now().After(drainDeadline) {
@@ -219,13 +285,17 @@ func soak(cfg loadConfig) (loadReport, error) {
 		Forwarded:     st.Forwarded,
 		Dropped:       st.Dropped,
 		BadHeader:     st.BadHeader,
-		Unaccounted:   int64(st.Received) - int64(st.Forwarded) - int64(st.Dropped) - int64(st.BadHeader) - int64(st.Queued),
-		SinkCount:     sst.count,
-		DelayRatios:   fwd.DelayRatios(),
+		BadClass:      st.BadClass,
+		Unaccounted: int64(st.Received) - int64(st.Forwarded) - int64(st.Dropped) -
+			int64(st.BadHeader) - int64(st.BadClass) - int64(st.Queued),
+		SinkCount:   sst.count,
+		Flows:       cfg.FlowsPerClass * cfg.Classes,
+		DelayRatios: fwd.DelayRatios(),
 	}
 	for _, c := range fwd.ClassStats() {
 		cr := classResult{
 			Class:     c.Class,
+			Name:      c.Name,
 			DelayMean: c.DelayMean,
 			DelayP95:  c.DelayP95,
 		}
@@ -248,12 +318,41 @@ func soak(cfg loadConfig) (loadReport, error) {
 	return rep, nil
 }
 
+// flowClassConfig generates and parses a traffic-class config for
+// multi-flow mode: class c gets DDP maxSDP/SDP(c) (so the derived SDPs
+// round-trip to the configured ones) and one src-port filter per flow
+// socket, pinning every flow to its intended class.
+func flowClassConfig(sdp []float64, ports [][]uint16) (*pdds.ClassConfig, error) {
+	maxSDP := sdp[0]
+	for _, s := range sdp[1:] {
+		if s > maxSDP {
+			maxSDP = s
+		}
+	}
+	var b strings.Builder
+	for c, classPorts := range ports {
+		fmt.Fprintf(&b, "class c%d\n  ddp %g\n", c, maxSDP/sdp[c])
+		for _, p := range classPorts {
+			fmt.Fprintf(&b, "  match src-port %d\n", p)
+		}
+	}
+	cfg, err := pdds.ParseClassConfig(strings.NewReader(b.String()))
+	if err != nil {
+		return nil, fmt.Errorf("generated class config: %w", err)
+	}
+	return cfg, nil
+}
+
 // check returns an error when the report violates the soak's acceptance
-// conditions: rate within tolerance and exact packet conservation.
+// conditions: rate within tolerance, exact packet conservation, and no
+// unresolvable classes.
 func (r loadReport) check(tolerance float64) error {
 	if r.Unaccounted != 0 {
-		return fmt.Errorf("%d unaccounted datagrams (received=%d forwarded=%d dropped=%d bad-header=%d)",
-			r.Unaccounted, r.Received, r.Forwarded, r.Dropped, r.BadHeader)
+		return fmt.Errorf("%d unaccounted datagrams (received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d)",
+			r.Unaccounted, r.Received, r.Forwarded, r.Dropped, r.BadHeader, r.BadClass)
+	}
+	if r.BadClass != 0 {
+		return fmt.Errorf("%d datagrams with unresolvable class; every soak flow must classify", r.BadClass)
 	}
 	if r.SinkCount < 2 {
 		return fmt.Errorf("sink saw only %d datagrams; no rate measurement possible", r.SinkCount)
@@ -269,11 +368,18 @@ func (r loadReport) check(tolerance float64) error {
 func (r loadReport) render(w io.Writer) {
 	fmt.Fprintf(w, "egress rate: achieved %.0f bps vs configured %.0f bps (%+.2f%%) over %v busy period\n",
 		r.AchievedRateBps, r.ConfigRateBps, r.RateDeviation*100, r.BusyPeriod.Round(time.Millisecond))
-	fmt.Fprintf(w, "conservation: sent=%d received=%d forwarded=%d dropped=%d bad-header=%d unaccounted=%d sink=%d\n",
-		r.Sent, r.Received, r.Forwarded, r.Dropped, r.BadHeader, r.Unaccounted, r.SinkCount)
+	fmt.Fprintf(w, "conservation: sent=%d received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d unaccounted=%d sink=%d\n",
+		r.Sent, r.Received, r.Forwarded, r.Dropped, r.BadHeader, r.BadClass, r.Unaccounted, r.SinkCount)
+	if r.Flows > 0 {
+		fmt.Fprintf(w, "flows: %d distinct sender flows classified by the forwarder\n", r.Flows)
+	}
 	for _, c := range r.Classes {
-		fmt.Fprintf(w, "class %d: sink=%d delay mean=%.1fms p95=%.1fms\n",
-			c.Class, c.Received, c.DelayMean*1e3, c.DelayP95*1e3)
+		label := fmt.Sprintf("class %d", c.Class)
+		if c.Name != "" {
+			label = fmt.Sprintf("class %d (%s)", c.Class, c.Name)
+		}
+		fmt.Fprintf(w, "%s: sink=%d delay mean=%.1fms p95=%.1fms\n",
+			label, c.Received, c.DelayMean*1e3, c.DelayP95*1e3)
 	}
 	if len(r.DelayRatios) > 0 {
 		parts := make([]string, len(r.DelayRatios))
@@ -299,6 +405,7 @@ func run(args []string, stdout io.Writer) error {
 		size      = fs.Int("size", 500, "datagram size in bytes including the 18-byte header")
 		sched     = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
 		sdpStr    = fs.String("sdp", "", "scheduler differentiation parameters (default 1,2,4,... per class)")
+		flows     = fs.Int("flows", 0, "synthetic flows per class: > 0 sends untagged datagrams over this many sockets per class and the forwarder classifies by flow identity (0 = classic tagged mode)")
 		maxq      = fs.Int("maxq", 512, "forwarder queue bound, packets")
 		drain     = fs.Duration("drain", 10*time.Second, "forwarder drain budget at shutdown")
 		tolerance = fs.Float64("tolerance", 0.02, "acceptable relative egress-rate deviation")
@@ -320,15 +427,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	rep, err := soak(loadConfig{
-		RateBps:   *rate,
-		Offered:   *offered,
-		Duration:  *duration,
-		Classes:   *classes,
-		Size:      *size,
-		Scheduler: pdds.SchedulerKind(*sched),
-		SDP:       sdp,
-		MaxQueue:  *maxq,
-		Drain:     *drain,
+		RateBps:       *rate,
+		Offered:       *offered,
+		Duration:      *duration,
+		Classes:       *classes,
+		Size:          *size,
+		Scheduler:     pdds.SchedulerKind(*sched),
+		SDP:           sdp,
+		MaxQueue:      *maxq,
+		Drain:         *drain,
+		FlowsPerClass: *flows,
 	})
 	if err != nil {
 		return err

@@ -27,8 +27,8 @@ func shortSoak() loadConfig {
 
 // The soak's acceptance conditions are the PR's: achieved egress rate
 // within ±2% of the configured rate, and exact packet conservation
-// (Received = Forwarded + Dropped + BadHeader, nothing queued) after the
-// drain.
+// (Received = Forwarded + Dropped + BadHeader + BadClass, nothing
+// queued) after the drain.
 func TestSoakRateAndConservation(t *testing.T) {
 	rep, err := soak(shortSoak())
 	if err != nil {
@@ -96,6 +96,50 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-classes", "0"}, &strings.Builder{}); err == nil {
 		t.Fatal("-classes 0 accepted")
 	}
+	if err := run([]string{"-flows", "1000", "-duration", "10ms"}, &strings.Builder{}); err == nil {
+		t.Fatal("-flows 1000 accepted")
+	}
+}
+
+// TestMultiFlowSoak soaks the classifier edge: untagged datagrams from
+// N distinct flows per class must be classified purely from flow
+// identity, with the same conservation and differentiation guarantees
+// as the classic tagged soak and zero bad-class datagrams.
+func TestMultiFlowSoak(t *testing.T) {
+	cfg := shortSoak()
+	cfg.FlowsPerClass = 3
+	rep, err := soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.check(0.02); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadClass != 0 || rep.Unaccounted != 0 {
+		t.Fatalf("bad-class=%d unaccounted=%d: %+v", rep.BadClass, rep.Unaccounted, rep)
+	}
+	if rep.Flows != 12 {
+		t.Fatalf("flows=%d, want 12", rep.Flows)
+	}
+	if len(rep.Classes) != 4 {
+		t.Fatalf("classes: %+v", rep.Classes)
+	}
+	// Every class must both receive traffic at the sink (its flows were
+	// classified to it, not elsewhere) and show the WTP delay ordering.
+	for i, c := range rep.Classes {
+		if want := "c" + string(rune('0'+i)); c.Name != want {
+			t.Errorf("class %d named %q, want %q", i, c.Name, want)
+		}
+		if c.Received == 0 {
+			t.Errorf("class %d saw no sink traffic: %+v", i, rep.Classes)
+		}
+	}
+	for i := 0; i+1 < len(rep.Classes); i++ {
+		lo, hi := rep.Classes[i].DelayMean, rep.Classes[i+1].DelayMean
+		if !(lo > hi) {
+			t.Errorf("class %d mean delay %.4fs not above class %d's %.4fs", i, lo, i+1, hi)
+		}
+	}
 }
 
 // TestRunJSONSchema pins the -json report contract: every documented
@@ -123,8 +167,8 @@ func TestRunJSONSchema(t *testing.T) {
 	}
 	for _, key := range []string{
 		"config_rate_bps", "achieved_rate_bps", "rate_deviation", "busy_period_ns",
-		"sent", "received", "forwarded", "dropped", "bad_header", "unaccounted",
-		"sink_count", "delay_ratios", "target_ratios", "classes",
+		"sent", "received", "forwarded", "dropped", "bad_header", "bad_class",
+		"unaccounted", "sink_count", "delay_ratios", "target_ratios", "classes",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("report missing key %q", key)
@@ -140,9 +184,9 @@ func TestRunJSONSchema(t *testing.T) {
 	if rep.Unaccounted != 0 {
 		t.Errorf("decoded report has %d unaccounted datagrams", rep.Unaccounted)
 	}
-	if rep.Received != rep.Forwarded+rep.Dropped+rep.BadHeader {
-		t.Errorf("decoded conservation broken: received=%d forwarded=%d dropped=%d bad-header=%d",
-			rep.Received, rep.Forwarded, rep.Dropped, rep.BadHeader)
+	if rep.Received != rep.Forwarded+rep.Dropped+rep.BadHeader+rep.BadClass {
+		t.Errorf("decoded conservation broken: received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d",
+			rep.Received, rep.Forwarded, rep.Dropped, rep.BadHeader, rep.BadClass)
 	}
 	if rep.Sent == 0 || rep.Received == 0 || rep.SinkCount == 0 {
 		t.Errorf("empty soak: sent=%d received=%d sink=%d", rep.Sent, rep.Received, rep.SinkCount)

@@ -4,6 +4,9 @@
 // through perturbed simulations at -scale full, and judges every run's
 // invariants — exact packet conservation, packet-pool leak freedom,
 // telemetry-counter monotonicity, and per-load-regime PDD ratio windows.
+// The catalog's flow-churn plan additionally exercises a live classifier
+// flow table (synthetic flow populations retired mid-run under TTL
+// eviction) and fails on any inconsistent classification answer.
 // With -net it also drives the live UDP forwarder through the standard
 // egress fault plans (corruption, duplication, reordering, transient and
 // persistent write errors) over loopback.
@@ -44,8 +47,8 @@ func main() {
 
 // scaleHorizons maps -scale names to simulation horizons in time units.
 // At the paper workload a time unit carries ~0.085 packets, so quick is
-// ~17k packets per run (CI smoke) and full is ~500k per run — about 12M
-// packets over the default 8×3 matrix.
+// ~17k packets per run (CI smoke) and full is ~500k per run — about 13M
+// packets over the default 9×3 matrix.
 var scaleHorizons = map[string]float64{
 	"quick": 2e5,
 	"full":  6e6,

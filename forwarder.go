@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"pdds/internal/classify"
 	"pdds/internal/core"
 	"pdds/internal/netio"
 	"pdds/internal/telemetry"
@@ -19,8 +20,8 @@ type Forwarder struct {
 
 // ForwarderStats are cumulative forwarder counters. Every received
 // datagram is accounted exactly once:
-// Received = Forwarded + Dropped + BadHeader + Queued at any snapshot,
-// with Queued reaching 0 after Close.
+// Received = Forwarded + Dropped + BadHeader + BadClass + Queued at any
+// snapshot, with Queued reaching 0 after Close.
 type ForwarderStats struct {
 	Received  uint64
 	Forwarded uint64
@@ -28,6 +29,11 @@ type ForwarderStats struct {
 	// exhausted their retries, and datagrams discarded at Close.
 	Dropped   uint64
 	BadHeader uint64
+	// BadClass counts structurally valid datagrams whose class could not
+	// be resolved: an out-of-range or ClassUnspecified class byte with no
+	// class config loaded, or traffic matching no filter when the config
+	// declares no default class.
+	BadClass uint64
 	// Queued is the instantaneous scheduler backlog at snapshot time.
 	Queued uint64
 }
@@ -58,6 +64,23 @@ type ForwarderConfig struct {
 	// /metrics?format=text (human view) and /debug/pprof/. Use
 	// "127.0.0.1:0" to pick a free port (see MetricsAddr).
 	MetricsAddr string
+	// Classes, when non-nil, turns the forwarder into a classifying
+	// edge: datagrams tagged ClassUnspecified (or carrying an
+	// out-of-range class byte) are classified by flow identity and DS
+	// byte against the config's traffic classes, and the resolved class
+	// is re-marked into the forwarded datagram. The config also supplies
+	// the scheduler SDPs (derived from its DDPs, unless SDP is set
+	// explicitly), per-class queue bounds, and class names for
+	// telemetry. When nil, behaviour is exactly the classic trusted-
+	// header forwarder.
+	Classes *ClassConfig
+	// DistrustHeader, with Classes set, classifies every datagram from
+	// its flow identity instead of trusting in-range header class bytes.
+	DistrustHeader bool
+	// FlowTTL is the idle eviction age for memoized flow→class
+	// decisions (0 = entries never expire). Long-idle flows are
+	// re-classified on their next datagram.
+	FlowTTL time.Duration
 }
 
 // StartForwarder binds listen (e.g. "127.0.0.1:0"), forwarding scheduled
@@ -80,9 +103,14 @@ func StartForwarder(listen, forward string, kind SchedulerKind, sdp []float64, r
 func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
 	sdp := cfg.SDP
 	if len(sdp) == 0 {
-		sdp = []float64{1, 2, 4, 8}
+		if cfg.Classes != nil {
+			sdp = cfg.Classes.SDPs()
+		} else {
+			sdp = []float64{1, 2, 4, 8}
+		}
 	}
-	inner, err := netio.Listen(netio.Config{
+	reg := telemetry.NewWithSDP(sdp)
+	ncfg := netio.Config{
 		Listen:         cfg.Listen,
 		Forward:        cfg.Forward,
 		Scheduler:      core.Kind(cfg.Scheduler),
@@ -92,8 +120,23 @@ func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
 		DrainTimeout:   cfg.DrainTimeout,
 		DisablePooling: cfg.DisablePooling,
 		MetricsAddr:    cfg.MetricsAddr,
-		Telemetry:      telemetry.NewWithSDP(sdp),
-	})
+		Telemetry:      reg,
+		DistrustHeader: cfg.DistrustHeader,
+	}
+	if cfg.Classes != nil {
+		cls, err := classify.New(cfg.Classes.inner, classify.FlowTableConfig{
+			TTL: cfg.FlowTTL.Nanoseconds(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ncfg.Classifier = cls
+		ncfg.ClassMaxPackets = cfg.Classes.inner.QueueBounds()
+		if len(cfg.Classes.Names()) == reg.NumClasses() {
+			reg.SetClassNames(cfg.Classes.Names())
+		}
+	}
+	inner, err := netio.Listen(ncfg)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +164,10 @@ func (f *Forwarder) MetricsAddr() net.Addr { return f.inner.MetricsAddr() }
 // delays — seconds for the forwarder, simulation time units for
 // simulations.
 type LiveClassStats struct {
-	Class                   int
+	Class int
+	// Name is the class's configured label (empty unless the forwarder
+	// was started with a class config).
+	Name                    string
 	Arrivals, Departures    uint64
 	Drops                   uint64
 	Backlog                 uint64
@@ -144,6 +190,7 @@ func (f *Forwarder) ClassStats() []LiveClassStats {
 	for i, c := range snap.Classes {
 		out[i] = LiveClassStats{
 			Class:        c.Class,
+			Name:         c.Name,
 			Arrivals:     c.Arrivals,
 			Departures:   c.Departures,
 			Drops:        c.Drops,

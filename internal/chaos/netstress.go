@@ -69,8 +69,8 @@ func (p NetPlan) withDefaults() NetPlan {
 // byte-identical across repetitions.
 type NetResult struct {
 	Plan string `json:"plan"`
-	// Conserved: Received = Forwarded + Dropped + BadHeader exactly,
-	// with nothing queued, after Close.
+	// Conserved: Received = Forwarded + Dropped + BadHeader + BadClass
+	// exactly, with nothing queued, after Close.
 	Conserved bool `json:"conserved"`
 	// FaultsInjected: the plan's injector fired at least once.
 	FaultsInjected bool `json:"faults_injected"`
@@ -184,7 +184,7 @@ func RunNet(plan NetPlan) (*NetResult, error) {
 
 	res := &NetResult{
 		Plan:           p.Name,
-		Conserved:      st.Queued == 0 && st.Received == st.Forwarded+st.Dropped+st.BadHeader,
+		Conserved:      st.Queued == 0 && st.Received == st.Forwarded+st.Dropped+st.BadHeader+st.BadClass,
 		ForwardedSome:  st.Forwarded > 0,
 		AllDropped:     st.Forwarded == 0 && st.Received > 0,
 		SinkDisturbed:  sinkBad.Load() > 0 || sinkRegress.Load() > 0,
@@ -192,8 +192,8 @@ func RunNet(plan NetPlan) (*NetResult, error) {
 	}
 	if !res.Conserved {
 		res.Violations = append(res.Violations, fmt.Sprintf(
-			"conservation: received=%d forwarded=%d dropped=%d bad-header=%d queued=%d",
-			st.Received, st.Forwarded, st.Dropped, st.BadHeader, st.Queued))
+			"conservation: received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d queued=%d",
+			st.Received, st.Forwarded, st.Dropped, st.BadHeader, st.BadClass, st.Queued))
 	}
 	if st.Received == 0 {
 		res.Violations = append(res.Violations, "no datagrams received; nothing exercised")

@@ -1,0 +1,142 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxClasses bounds the class count (matches core.ValidateClasses).
+const MaxClasses = 64
+
+// TrafficClass is one declared service class: a name, a delay
+// differentiation parameter, the filters that admit traffic into it, and
+// optional queue policy.
+type TrafficClass struct {
+	// Name labels the class in configs, telemetry and reports. Unique
+	// within a Config.
+	Name string
+	// DDP is the class's delay differentiation parameter: the declared
+	// relative delay target, proportional to the mean queueing delay the
+	// class should see. Class 0 (first declared) is the paper's lowest
+	// class, so DDPs are non-increasing in declaration order. The
+	// scheduler SDPs derive from the DDPs via Config.SDPs.
+	DDP float64
+	// Default marks the class that receives traffic matching no filter.
+	// At most one class may be the default.
+	Default bool
+	// MaxQueue bounds the class's queue in packets (0 = only the
+	// forwarder's aggregate bound applies).
+	MaxQueue int
+	// Filters admit traffic: the class matches when ANY filter matches
+	// (elements within a filter are ANDed).
+	Filters []Filter
+}
+
+// Config is a validated set of traffic-class declarations. Declaration
+// order defines class indices: Classes[0] is class 0.
+type Config struct {
+	Classes []TrafficClass
+}
+
+// Validate checks the declarations: 1..MaxClasses classes, unique names,
+// positive finite non-increasing DDPs, at most one default, and no class
+// that can never receive traffic (no filters and not the default).
+func (c *Config) Validate() error {
+	if len(c.Classes) < 1 || len(c.Classes) > MaxClasses {
+		return fmt.Errorf("classify: %d classes out of range [1,%d]", len(c.Classes), MaxClasses)
+	}
+	seen := make(map[string]bool, len(c.Classes))
+	defaults := 0
+	for i, tc := range c.Classes {
+		if tc.Name == "" {
+			return fmt.Errorf("classify: class %d has no name", i)
+		}
+		if seen[tc.Name] {
+			return fmt.Errorf("classify: duplicate class name %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if !(tc.DDP > 0) || math.IsInf(tc.DDP, 0) {
+			return fmt.Errorf("classify: class %q: ddp %g must be positive and finite", tc.Name, tc.DDP)
+		}
+		if i > 0 && tc.DDP > c.Classes[i-1].DDP {
+			return fmt.Errorf("classify: class %q: ddp %g exceeds preceding class's %g (classes must be declared lowest class first, DDPs non-increasing)",
+				tc.Name, tc.DDP, c.Classes[i-1].DDP)
+		}
+		if tc.MaxQueue < 0 {
+			return fmt.Errorf("classify: class %q: maxq %d must be >= 0", tc.Name, tc.MaxQueue)
+		}
+		if tc.Default {
+			defaults++
+		}
+		if len(tc.Filters) == 0 && !tc.Default {
+			return fmt.Errorf("classify: class %q has no filters and is not the default; it can never receive traffic", tc.Name)
+		}
+	}
+	if defaults > 1 {
+		return fmt.Errorf("classify: %d default classes declared; at most one allowed", defaults)
+	}
+	// The DDP spread becomes the extreme SDP ratio (SDPs derives
+	// SDP = maxDDP/DDP); it must stay finite or the schedulers' weighted
+	// priorities degenerate.
+	if spread := c.Classes[0].DDP / c.Classes[len(c.Classes)-1].DDP; math.IsInf(spread, 0) {
+		return fmt.Errorf("classify: ddp spread %g/%g overflows; narrow the ratio between the first and last class",
+			c.Classes[0].DDP, c.Classes[len(c.Classes)-1].DDP)
+	}
+	return nil
+}
+
+// DefaultClass returns the index of the default class, or -1 when none is
+// declared.
+func (c *Config) DefaultClass() int {
+	for i, tc := range c.Classes {
+		if tc.Default {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the class names in index order.
+func (c *Config) Names() []string {
+	out := make([]string, len(c.Classes))
+	for i, tc := range c.Classes {
+		out[i] = tc.Name
+	}
+	return out
+}
+
+// SDPs derives the scheduler differentiation parameters from the declared
+// DDPs. The proportional model pins delay(i)/delay(j) = DDP(i)/DDP(j),
+// and the schedulers express the same spacing through non-decreasing SDPs
+// with delay(i)/delay(i+1) = SDP(i+1)/SDP(i) — so SDP(i) = maxDDP/DDP(i),
+// normalized to SDP(0) = 1 for a valid (non-increasing DDP) config.
+func (c *Config) SDPs() []float64 {
+	max := 0.0
+	for _, tc := range c.Classes {
+		if tc.DDP > max {
+			max = tc.DDP
+		}
+	}
+	out := make([]float64, len(c.Classes))
+	for i, tc := range c.Classes {
+		out[i] = max / tc.DDP
+	}
+	return out
+}
+
+// QueueBounds returns the per-class queue bounds in index order (0 =
+// unbounded beyond the aggregate), or nil when no class declares one.
+func (c *Config) QueueBounds() []int {
+	any := false
+	out := make([]int, len(c.Classes))
+	for i, tc := range c.Classes {
+		out[i] = tc.MaxQueue
+		if tc.MaxQueue > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package classify is the forwarder's ingress classification stage: it
+// turns an arriving datagram's flow identity (5-tuple) and DS byte into a
+// service-class index, replacing blind trust in the wire header's class
+// byte with config-driven traffic classes.
+//
+// The paper assumes packets arrive already tagged with a class; a real
+// proportional-DiffServ edge has to *classify*. The architecture follows
+// the classic DiffServ decomposition (cf. the ns-3 DiffServ exemplar):
+//
+//   - FilterElement: one matching condition (source/destination address
+//     prefix, source/destination port range, DS byte, protocol, exact
+//     flow 5-tuple).
+//   - Filter: a conjunction of elements — every element must match.
+//   - TrafficClass: a named class declaration carrying a delay
+//     differentiation parameter (DDP), an optional default flag, optional
+//     per-class queue bound, and a disjunction of filters — any filter
+//     admits the packet.
+//   - Classifier: the ordered class list plus a flow table memoizing
+//     5-tuple → class decisions so the filter scan runs once per flow,
+//     not once per packet.
+//
+// Class declarations load from a line-oriented config file (see
+// ParseConfig) whose declaration order defines the class indices: the
+// first class is class 0, the paper's lowest (highest-delay) class, so
+// DDPs must be non-increasing down the file.
+//
+// Matching is first-match-wins in declaration order. For non-overlapping
+// filters the outcome is therefore independent of declaration order; for
+// overlapping ones the earlier class wins, deterministically.
+//
+// The flow table (FlowTable) is hash-sharded and power-of-two sized, with
+// per-shard locks, TTL-based idle eviction and zero steady-state
+// allocations on the lookup path, so an edge can memoize millions of
+// concurrent flows while the ingress loop stays allocation-free.
+package classify
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Protocol numbers for FlowKey.Proto (IANA assigned).
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// FlowKey is the 5-tuple identity of a flow. Addresses must be in
+// canonical form (use netip.Addr.Unmap for 4-mapped-in-6 addresses) so
+// that equal flows compare and hash equal regardless of socket family.
+type FlowKey struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String renders the key as "udp 1.2.3.4:5 -> 6.7.8.9:10".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s -> %s", protoName(k.Proto),
+		netip.AddrPortFrom(k.Src, k.SrcPort), netip.AddrPortFrom(k.Dst, k.DstPort))
+}
+
+func protoName(p uint8) string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto-%d", p)
+	}
+}
+
+// hash folds the key into 64 bits. The function is fixed (no per-process
+// seed) so runs that drive the table with the same flow sequence are
+// bit-reproducible — the chaos harness depends on that for byte-identical
+// reports. A splitmix-style finalizer avalanches the FNV-lane fold.
+func (k FlowKey) hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	s := k.Src.As16()
+	d := k.Dst.As16()
+	for i := 0; i < 16; i += 8 {
+		h = (h ^ lane(s[i:i+8])) * prime
+		h = (h ^ lane(d[i:i+8])) * prime
+	}
+	h = (h ^ (uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto))) * prime
+	// Finalizer (splitmix64): FNV folded over 8-byte lanes needs the
+	// extra avalanche to spread low-entropy keys across shards.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func lane(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Classifier resolves flow identities to class indices: a flow-table
+// lookup first, then (on a miss) a first-match-wins scan over the
+// configured classes' filters, falling back to the default class. The
+// decision is memoized in the flow table under the 5-tuple, so the scan
+// runs once per flow lifetime. Safe for concurrent use.
+//
+// Memoization assumes a flow's DS byte is stable for its lifetime (the
+// usual DiffServ edge assumption); a flow that re-marks itself mid-life
+// keeps its first classification until the table entry idles out.
+type Classifier struct {
+	classes []TrafficClass
+	def     int // index of the default class, -1 when none
+	table   *FlowTable
+}
+
+// New builds a classifier from a validated config and a flow table
+// configured by topt (zero value = defaults; see FlowTableConfig).
+func New(cfg *Config, topt FlowTableConfig) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		classes: cfg.Classes,
+		def:     cfg.DefaultClass(),
+		table:   NewFlowTable(topt),
+	}, nil
+}
+
+// NumClasses returns the number of configured classes.
+func (c *Classifier) NumClasses() int { return len(c.classes) }
+
+// Table exposes the flow table for stats and eviction control.
+func (c *Classifier) Table() *FlowTable { return c.table }
+
+// Classify resolves k (with DS byte dscp) to a class index at time now
+// (the flow table's TTL time base, in the units the table was configured
+// with). ok is false when no filter matches and no default class exists —
+// the caller should treat the packet as unclassifiable.
+func (c *Classifier) Classify(k FlowKey, dscp uint8, now int64) (class int, ok bool) {
+	if class, ok = c.table.Lookup(k, now); ok {
+		return class, true
+	}
+	class, ok = c.Match(k, dscp)
+	if ok {
+		c.table.Insert(k, class, now)
+	}
+	return class, ok
+}
+
+// Match runs the filter scan only (no flow-table consultation or
+// memoization): first-match-wins over classes in declaration order, then
+// the default class.
+func (c *Classifier) Match(k FlowKey, dscp uint8) (class int, ok bool) {
+	for i := range c.classes {
+		for _, f := range c.classes[i].Filters {
+			if f.Match(k, dscp) {
+				return i, true
+			}
+		}
+	}
+	if c.def >= 0 {
+		return c.def, true
+	}
+	return 0, false
+}

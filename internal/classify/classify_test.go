@@ -1,0 +1,307 @@
+package classify
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func mustAddr(t testing.TB, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatalf("ParseAddr(%q): %v", s, err)
+	}
+	return a.Unmap()
+}
+
+// key fabricates a distinct UDP flow key from an integer.
+func key(i int) FlowKey {
+	return FlowKey{
+		Src:     netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}),
+		Dst:     netip.AddrFrom4([4]byte{192, 0, 2, 1}),
+		SrcPort: uint16(1024 + i%60000),
+		DstPort: 9000,
+		Proto:   ProtoUDP,
+	}
+}
+
+func TestFilterElements(t *testing.T) {
+	k := FlowKey{
+		Src:     mustAddr(t, "10.1.2.3"),
+		Dst:     mustAddr(t, "203.0.113.7"),
+		SrcPort: 4444,
+		DstPort: 5555,
+		Proto:   ProtoUDP,
+	}
+	cases := []struct {
+		el   FilterElement
+		want bool
+		str  string
+	}{
+		{SrcAddr{netip.MustParsePrefix("10.0.0.0/8")}, true, "src 10.0.0.0/8"},
+		{SrcAddr{netip.MustParsePrefix("11.0.0.0/8")}, false, "src 11.0.0.0/8"},
+		{DstAddr{netip.MustParsePrefix("203.0.113.7/32")}, true, "dst 203.0.113.7/32"},
+		{DstAddr{netip.MustParsePrefix("203.0.113.8/32")}, false, "dst 203.0.113.8/32"},
+		{SrcPort{4444, 4444}, true, "src-port 4444"},
+		{SrcPort{1, 4443}, false, "src-port 1-4443"},
+		{DstPort{5000, 5999}, true, "dst-port 5000-5999"},
+		{DstPort{6000, 7000}, false, "dst-port 6000-7000"},
+		{DSCP{46}, false, "dscp 46"}, // dscp argument below is 0
+		{DSCP{0}, true, "dscp 0"},
+		{Proto{ProtoUDP}, true, "proto udp"},
+		{Proto{ProtoTCP}, false, "proto tcp"},
+		{Flow{k}, true, "flow 10.1.2.3:4444 203.0.113.7:5555 udp"},
+		{Flow{FlowKey{Src: k.Src, Dst: k.Dst, SrcPort: 1, DstPort: 5555, Proto: ProtoUDP}}, false, "flow 10.1.2.3:1 203.0.113.7:5555 udp"},
+	}
+	for _, c := range cases {
+		if got := c.el.Match(k, 0); got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.str, got, c.want)
+		}
+		if got := c.el.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestFilterConjunction(t *testing.T) {
+	k := key(1)
+	f := Filter{Elements: []FilterElement{
+		SrcAddr{netip.MustParsePrefix("10.0.0.0/8")},
+		Proto{ProtoUDP},
+	}}
+	if !f.Match(k, 0) {
+		t.Fatalf("AND of two matching elements should match")
+	}
+	f.Elements = append(f.Elements, DstPort{1, 2})
+	if f.Match(k, 0) {
+		t.Fatalf("one failing element must fail the filter")
+	}
+	if !(Filter{}).Match(k, 0) {
+		t.Fatalf("empty filter must match everything")
+	}
+}
+
+func TestClassifierDefaultAndMiss(t *testing.T) {
+	cfg := &Config{Classes: []TrafficClass{
+		{Name: "only", DDP: 1, Filters: []Filter{{Elements: []FilterElement{DstPort{1, 2}}}}},
+	}}
+	c, err := New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls, ok := c.Classify(key(1), 0, 0); ok {
+		t.Fatalf("no filter matches and no default: want ok=false, got class %d", cls)
+	}
+
+	cfg.Classes = append(cfg.Classes, TrafficClass{Name: "rest", DDP: 1, Default: true})
+	c, err = New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls, ok := c.Classify(key(1), 0, 0); !ok || cls != 1 {
+		t.Fatalf("want default class 1, got %d, %v", cls, ok)
+	}
+}
+
+// TestClassifyDeterministic: the same flow sequence against two fresh
+// classifiers built from the same config yields identical classes, and
+// repeated classification of the same flow never changes its answer.
+func TestClassifyDeterministic(t *testing.T) {
+	cfg, err := LoadConfig("testdata/full.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		k := key(i)
+		dscp := uint8(i % 64)
+		ca, oka := a.Classify(k, dscp, int64(i))
+		cb, okb := b.Classify(k, dscp, int64(i))
+		if ca != cb || oka != okb {
+			t.Fatalf("flow %v: classifier A says (%d,%v), B says (%d,%v)", k, ca, oka, cb, okb)
+		}
+		// Memoized re-ask must agree with the first answer.
+		ca2, oka2 := a.Classify(k, dscp, int64(i))
+		if ca2 != ca || oka2 != oka {
+			t.Fatalf("flow %v: answer changed on re-ask: (%d,%v) then (%d,%v)", k, ca, oka, ca2, oka2)
+		}
+	}
+}
+
+// TestNonOverlappingOrderIndependent: when filters don't overlap, the
+// class (by name) each packet lands in is independent of declaration
+// order.
+func TestNonOverlappingOrderIndependent(t *testing.T) {
+	mk := func(order string) *Classifier {
+		lines := map[string]string{
+			"a": "class alpha\n ddp 1\n match dst-port 100-199\n",
+			"b": "class beta\n ddp 1\n match dst-port 200-299\n",
+			"d": "class dflt\n ddp 1\n default\n",
+		}
+		var sb strings.Builder
+		for _, ch := range order {
+			sb.WriteString(lines[string(ch)])
+		}
+		cfg, err := ParseConfig(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("order %s: %v", order, err)
+		}
+		c, err := New(cfg, FlowTableConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	name := func(c *Classifier, port uint16) string {
+		k := key(int(port))
+		k.DstPort = port
+		cls, ok := c.Classify(k, 0, 0)
+		if !ok {
+			t.Fatalf("port %d: unclassified", port)
+		}
+		return c.classes[cls].Name
+	}
+	orders := []string{"abd", "bad", "dab", "bda"}
+	for _, port := range []uint16{150, 250, 9999} {
+		want := name(mk(orders[0]), port)
+		for _, o := range orders[1:] {
+			if got := name(mk(o), port); got != want {
+				t.Errorf("port %d: order %q lands in %q, order %q lands in %q", port, orders[0], want, o, got)
+			}
+		}
+	}
+}
+
+// TestOverlappingFirstMatchWins: when two classes' filters overlap, the
+// earlier-declared class wins, deterministically.
+func TestOverlappingFirstMatchWins(t *testing.T) {
+	conf := func(firstPorts, secondPorts string) string {
+		return fmt.Sprintf("class first\n ddp 1\n match dst-port %s\nclass second\n ddp 1\n match dst-port %s\n", firstPorts, secondPorts)
+	}
+	k := key(0)
+	k.DstPort = 100
+	for _, ports := range [][2]string{{"100", "100-200"}, {"100-200", "100"}} {
+		cfg, err := ParseConfig(strings.NewReader(conf(ports[0], ports[1])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := New(cfg, FlowTableConfig{})
+		if cls, ok := c.Classify(k, 0, 0); !ok || cls != 0 {
+			t.Fatalf("filters %v: want first-declared class 0, got %d, %v", ports, cls, ok)
+		}
+	}
+}
+
+func TestConfigValidateErrors(t *testing.T) {
+	base := func() *Config {
+		return &Config{Classes: []TrafficClass{
+			{Name: "a", DDP: 2, Default: true},
+			{Name: "b", DDP: 1, Filters: []Filter{{Elements: []FilterElement{Proto{ProtoUDP}}}}},
+		}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base config should validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"empty", func(c *Config) { c.Classes = nil }},
+		{"unnamed", func(c *Config) { c.Classes[0].Name = "" }},
+		{"duplicate name", func(c *Config) { c.Classes[1].Name = "a" }},
+		{"zero ddp", func(c *Config) { c.Classes[1].DDP = 0 }},
+		{"negative ddp", func(c *Config) { c.Classes[1].DDP = -1 }},
+		{"increasing ddp", func(c *Config) { c.Classes[1].DDP = 3 }},
+		{"negative maxq", func(c *Config) { c.Classes[0].MaxQueue = -1 }},
+		{"two defaults", func(c *Config) { c.Classes[1].Default = true }},
+		{"unreachable class", func(c *Config) { c.Classes[1].Filters = nil }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: want validation error, got nil", tc.name)
+		}
+	}
+	big := &Config{}
+	for i := 0; i <= MaxClasses; i++ {
+		big.Classes = append(big.Classes, TrafficClass{Name: fmt.Sprintf("c%d", i), DDP: 1, Filters: []Filter{{}}})
+	}
+	if err := big.Validate(); err == nil {
+		t.Errorf("%d classes: want validation error, got nil", len(big.Classes))
+	}
+}
+
+func TestConfigDerivations(t *testing.T) {
+	cfg, err := LoadConfig("testdata/full.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"scavenger", "bulk", "interactive", "control"}
+	if got := cfg.Names(); fmt.Sprint(got) != fmt.Sprint(wantNames) {
+		t.Errorf("Names = %v, want %v", got, wantNames)
+	}
+	// DDPs 8,4,2,1 → SDPs maxDDP/DDP = 1,2,4,8: non-decreasing, SDP[0]=1.
+	wantSDPs := []float64{1, 2, 4, 8}
+	if got := cfg.SDPs(); fmt.Sprint(got) != fmt.Sprint(wantSDPs) {
+		t.Errorf("SDPs = %v, want %v", got, wantSDPs)
+	}
+	if got := cfg.QueueBounds(); fmt.Sprint(got) != fmt.Sprint([]int{512, 2048, 0, 0}) {
+		t.Errorf("QueueBounds = %v", got)
+	}
+	if got := cfg.DefaultClass(); got != 0 {
+		t.Errorf("DefaultClass = %d, want 0", got)
+	}
+
+	noBounds := &Config{Classes: []TrafficClass{{Name: "x", DDP: 1, Default: true}}}
+	if got := noBounds.QueueBounds(); got != nil {
+		t.Errorf("QueueBounds with no maxq = %v, want nil", got)
+	}
+}
+
+// TestClassifyHitPathAllocs: the memoized classification path (flow-table
+// hit) must not allocate — it runs per datagram on the ingress loop.
+func TestClassifyHitPathAllocs(t *testing.T) {
+	cfg, err := LoadConfig("testdata/full.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(7)
+	if _, ok := c.Classify(k, 0, 1); !ok {
+		t.Fatal("seed classification failed")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		c.Classify(k, 0, 2)
+	}); n != 0 {
+		t.Fatalf("Classify hit path allocates %v per run, want 0", n)
+	}
+	// The miss-and-match scan must not allocate either (Insert may grow
+	// the table, so pre-warm with the same key set before measuring).
+	keys := make([]FlowKey, 64)
+	for i := range keys {
+		keys[i] = key(1000 + i)
+	}
+	for i, k := range keys {
+		c.Classify(k, 0, int64(i))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		c.Classify(keys[i%len(keys)], 0, 3)
+		i++
+	}); n != 0 {
+		t.Fatalf("warm Classify allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,123 @@
+package classify
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// FilterElement is one matching condition on a flow identity. Elements
+// are pure predicates: Match must be safe for concurrent use and must not
+// allocate (it runs on the ingress path for every flow-table miss).
+type FilterElement interface {
+	// Match reports whether the element admits the flow k with DS byte
+	// dscp.
+	Match(k FlowKey, dscp uint8) bool
+	// String renders the element in the config grammar's token form.
+	String() string
+}
+
+// Filter is a conjunction of elements: it matches when every element
+// matches. An element-less filter matches everything (the identity of
+// AND); the config parser never produces one, but programmatic configs
+// may use it as an explicit match-all.
+type Filter struct {
+	Elements []FilterElement
+}
+
+// Match reports whether every element admits the flow.
+func (f Filter) Match(k FlowKey, dscp uint8) bool {
+	for _, e := range f.Elements {
+		if !e.Match(k, dscp) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the filter as a "match ..." config line body.
+func (f Filter) String() string {
+	parts := make([]string, len(f.Elements))
+	for i, e := range f.Elements {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// SrcAddr matches flows whose source address is inside Prefix.
+type SrcAddr struct{ Prefix netip.Prefix }
+
+// Match implements FilterElement.
+func (m SrcAddr) Match(k FlowKey, _ uint8) bool { return m.Prefix.Contains(k.Src) }
+
+// String implements FilterElement.
+func (m SrcAddr) String() string { return "src " + m.Prefix.String() }
+
+// DstAddr matches flows whose destination address is inside Prefix.
+type DstAddr struct{ Prefix netip.Prefix }
+
+// Match implements FilterElement.
+func (m DstAddr) Match(k FlowKey, _ uint8) bool { return m.Prefix.Contains(k.Dst) }
+
+// String implements FilterElement.
+func (m DstAddr) String() string { return "dst " + m.Prefix.String() }
+
+// SrcPort matches flows whose source port is in [Lo, Hi] (inclusive; a
+// single port is Lo == Hi).
+type SrcPort struct{ Lo, Hi uint16 }
+
+// Match implements FilterElement.
+func (m SrcPort) Match(k FlowKey, _ uint8) bool { return k.SrcPort >= m.Lo && k.SrcPort <= m.Hi }
+
+// String implements FilterElement.
+func (m SrcPort) String() string { return "src-port " + portRange(m.Lo, m.Hi) }
+
+// DstPort matches flows whose destination port is in [Lo, Hi].
+type DstPort struct{ Lo, Hi uint16 }
+
+// Match implements FilterElement.
+func (m DstPort) Match(k FlowKey, _ uint8) bool { return k.DstPort >= m.Lo && k.DstPort <= m.Hi }
+
+// String implements FilterElement.
+func (m DstPort) String() string { return "dst-port " + portRange(m.Lo, m.Hi) }
+
+func portRange(lo, hi uint16) string {
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// DSCP matches flows whose DS byte equals Value. In the forwarder's wire
+// format the header class byte doubles as the DS byte, so DSCP filters
+// let an edge honor upstream markings without trusting them as indices.
+type DSCP struct{ Value uint8 }
+
+// Match implements FilterElement.
+func (m DSCP) Match(_ FlowKey, dscp uint8) bool { return dscp == m.Value }
+
+// String implements FilterElement.
+func (m DSCP) String() string { return fmt.Sprintf("dscp %d", m.Value) }
+
+// Proto matches flows with the given IP protocol number.
+type Proto struct{ Value uint8 }
+
+// Match implements FilterElement.
+func (m Proto) Match(k FlowKey, _ uint8) bool { return k.Proto == m.Value }
+
+// String implements FilterElement.
+func (m Proto) String() string { return "proto " + protoName(m.Value) }
+
+// Flow matches exactly one flow: the full 5-tuple.
+type Flow struct{ Key FlowKey }
+
+// Match implements FilterElement.
+func (m Flow) Match(k FlowKey, _ uint8) bool { return k == m.Key }
+
+// String implements FilterElement.
+func (m Flow) String() string {
+	return fmt.Sprintf("flow %s %s %s",
+		netip.AddrPortFrom(m.Key.Src, m.Key.SrcPort),
+		netip.AddrPortFrom(m.Key.Dst, m.Key.DstPort),
+		protoName(m.Key.Proto))
+}

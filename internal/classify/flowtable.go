@@ -1,0 +1,380 @@
+package classify
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FlowTableConfig sizes a FlowTable. The zero value selects defaults
+// suitable for an edge forwarder.
+type FlowTableConfig struct {
+	// Shards is the number of independently locked hash shards (rounded
+	// up to a power of two; default 64). More shards = less contention
+	// when multiple ingress goroutines share the table.
+	Shards int
+	// InitialFlows hints the initial total capacity (default 4096).
+	// Shard slot arrays start at the matching power of two and double as
+	// they fill, so a table that stays small never pays for MaxFlows.
+	InitialFlows int
+	// MaxFlows bounds the resident flow count (rounded up so each shard
+	// holds a power of two; default 2,097,152 ≈ 2M). At the bound, stale
+	// or least-recently-touched entries are evicted to admit new flows.
+	MaxFlows int
+	// TTL is the idle-eviction age in the caller's time units (the `now`
+	// passed to Lookup/Insert — nanoseconds for the forwarder, simulation
+	// time for the chaos harness). An entry untouched for longer than TTL
+	// is evicted lazily on access, during pressure sweeps, and by Sweep.
+	// 0 disables idle eviction (pure memoization).
+	TTL int64
+}
+
+func (c FlowTableConfig) withDefaults() FlowTableConfig {
+	if c.Shards <= 0 {
+		c.Shards = 64
+	}
+	c.Shards = nextPow2(c.Shards)
+	if c.InitialFlows <= 0 {
+		c.InitialFlows = 4096
+	}
+	if c.MaxFlows <= 0 {
+		c.MaxFlows = 1 << 21
+	}
+	if c.MaxFlows < c.Shards {
+		c.MaxFlows = c.Shards
+	}
+	return c
+}
+
+// slot states. Deleted entries are removed by backward-shift, so there
+// are no tombstones and probe chains never grow stale.
+const (
+	slotEmpty = iota
+	slotUsed
+)
+
+// slot is one open-addressing table entry. The hash is cached so probes
+// compare 8 bytes before the 37-byte key and so rehashing on growth does
+// not recompute it.
+type slot struct {
+	hash    uint64
+	key     FlowKey
+	touched int64
+	class   int32
+	state   uint8
+}
+
+// shard is one independently locked slice of the table: a power-of-two
+// linear-probing open-addressing array. Load is kept at or below 3/4 so
+// probe chains stay short and every probe terminates at an empty slot.
+type shard struct {
+	mu        sync.Mutex
+	slots     []slot
+	count     int
+	lastSweep int64
+	// pad keeps neighbouring shards' mutexes off one cache line.
+	_ [64]byte
+}
+
+// FlowTable memoizes 5-tuple → class decisions for millions of concurrent
+// flows: hash-sharded, power-of-two sized, linear probing with
+// backward-shift deletion, per-shard locks, and TTL-based idle eviction.
+// Lookup and steady-state Insert perform zero allocations; growth (until
+// a shard reaches its share of MaxFlows) is the only allocating path.
+//
+// Time is caller-supplied (the now arguments), so the table is
+// deterministic: the same sequence of operations with the same
+// timestamps yields the same hits, misses and evictions on any run —
+// the chaos harness's byte-identical-report contract relies on this.
+type FlowTable struct {
+	shards      []shard
+	shardMask   uint64
+	ttl         int64
+	initShard   int // initial slots per shard (power of two)
+	maxShard    int // max slots per shard (power of two)
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	inserts     atomic.Uint64
+	evictions   atomic.Uint64
+	updateHits  atomic.Uint64
+	sweepsTotal atomic.Uint64
+}
+
+// NewFlowTable builds a table from cfg (zero value = defaults).
+func NewFlowTable(cfg FlowTableConfig) *FlowTable {
+	cfg = cfg.withDefaults()
+	perShardInit := nextPow2(max(4, cfg.InitialFlows/cfg.Shards))
+	perShardMax := nextPow2(max(4, cfg.MaxFlows/cfg.Shards))
+	if perShardInit > perShardMax {
+		perShardInit = perShardMax
+	}
+	t := &FlowTable{
+		shards:    make([]shard, cfg.Shards),
+		shardMask: uint64(cfg.Shards - 1),
+		ttl:       cfg.TTL,
+		initShard: perShardInit,
+		maxShard:  perShardMax,
+	}
+	for i := range t.shards {
+		t.shards[i].slots = make([]slot, perShardInit)
+	}
+	return t
+}
+
+// TTL returns the configured idle-eviction age (0 = disabled).
+func (t *FlowTable) TTL() int64 { return t.ttl }
+
+// Lookup returns the memoized class for k, refreshing its idle timer. A
+// stale entry (idle longer than TTL at now) is evicted and reported as a
+// miss, so a long-quiet flow is re-classified on its next packet.
+func (t *FlowTable) Lookup(k FlowKey, now int64) (class int, ok bool) {
+	h := k.hash()
+	s := &t.shards[h&t.shardMask]
+	s.mu.Lock()
+	if i, found := s.find(h, k); found {
+		sl := &s.slots[i]
+		if t.ttl > 0 && now-sl.touched > t.ttl {
+			s.remove(i)
+			s.mu.Unlock()
+			t.evictions.Add(1)
+			t.misses.Add(1)
+			return 0, false
+		}
+		sl.touched = now
+		class = int(sl.class)
+		s.mu.Unlock()
+		t.hits.Add(1)
+		return class, true
+	}
+	s.mu.Unlock()
+	t.misses.Add(1)
+	return 0, false
+}
+
+// Insert memoizes k → class at time now, updating the entry in place if
+// the flow is already resident. When a shard is full at its share of
+// MaxFlows, expired entries are swept first and, failing that, the
+// least-recently-touched entry near the insertion point is evicted.
+func (t *FlowTable) Insert(k FlowKey, class int, now int64) {
+	h := k.hash()
+	s := &t.shards[h&t.shardMask]
+	s.mu.Lock()
+	// Opportunistic shard sweep: at most one full pass per TTL period,
+	// so stale flows age out even when nothing ever probes their chain.
+	if t.ttl > 0 && now-s.lastSweep > t.ttl {
+		s.lastSweep = now
+		t.evictions.Add(uint64(s.sweep(now, t.ttl)))
+		t.sweepsTotal.Add(1)
+	}
+	if i, found := s.find(h, k); found {
+		s.slots[i].class = int32(class)
+		s.slots[i].touched = now
+		s.mu.Unlock()
+		t.updateHits.Add(1)
+		return
+	}
+	// Keep load <= 3/4: grow while allowed, then sweep, then evict.
+	if (s.count+1)*4 > len(s.slots)*3 {
+		if len(s.slots) < t.maxShard {
+			s.grow()
+		} else {
+			evicted := 0
+			if t.ttl > 0 {
+				evicted = s.sweep(now, t.ttl)
+				s.lastSweep = now
+				t.sweepsTotal.Add(1)
+			}
+			if (s.count+1)*4 > len(s.slots)*3 {
+				s.evictStalest(uint32(h))
+				evicted++
+			}
+			t.evictions.Add(uint64(evicted))
+		}
+	}
+	s.place(h, k, int32(class), now)
+	s.mu.Unlock()
+	t.inserts.Add(1)
+}
+
+// Sweep evicts every entry idle longer than the TTL at now, across all
+// shards. Harnesses call it at sample boundaries to make idle eviction
+// prompt and deterministic; the forwarder relies on the per-shard
+// opportunistic sweeps instead. No-op when TTL is 0.
+func (t *FlowTable) Sweep(now int64) {
+	if t.ttl == 0 {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.lastSweep = now
+		t.evictions.Add(uint64(s.sweep(now, t.ttl)))
+		s.mu.Unlock()
+	}
+	t.sweepsTotal.Add(1)
+}
+
+// Len returns the resident flow count.
+func (t *FlowTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.count
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// FlowTableStats is a point-in-time counter snapshot.
+type FlowTableStats struct {
+	Resident  int    `json:"resident"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Inserts   uint64 `json:"inserts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the table's counters.
+func (t *FlowTable) Stats() FlowTableStats {
+	return FlowTableStats{
+		Resident:  t.Len(),
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Inserts:   t.inserts.Load(),
+		Evictions: t.evictions.Load(),
+	}
+}
+
+// find returns the slot index holding (h, k). Caller must hold s.mu.
+func (s *shard) find(h uint64, k FlowKey) (uint32, bool) {
+	mask := uint32(len(s.slots) - 1)
+	i := uint32(h) & mask
+	for {
+		sl := &s.slots[i]
+		if sl.state == slotEmpty {
+			return 0, false
+		}
+		if sl.hash == h && sl.key == k {
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// place inserts a new entry, probing from its home slot. Caller must hold
+// s.mu and have ensured a free slot exists.
+func (s *shard) place(h uint64, k FlowKey, class int32, now int64) {
+	mask := uint32(len(s.slots) - 1)
+	i := uint32(h) & mask
+	for s.slots[i].state != slotEmpty {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = slot{hash: h, key: k, touched: now, class: class, state: slotUsed}
+	s.count++
+}
+
+// remove deletes slot i by backward-shift: every displaced entry in the
+// probe cluster after i moves one hole earlier, so no tombstones exist
+// and probe chains stay minimal. Caller must hold s.mu.
+func (s *shard) remove(i uint32) {
+	mask := uint32(len(s.slots) - 1)
+	j := i
+	for {
+		s.slots[i] = slot{}
+		for {
+			j = (j + 1) & mask
+			sl := &s.slots[j]
+			if sl.state == slotEmpty {
+				s.count--
+				return
+			}
+			// Move j into the hole at i iff j's probe distance from its
+			// home reaches past i (cyclic comparison).
+			home := uint32(sl.hash) & mask
+			if ((j - home) & mask) >= ((j - i) & mask) {
+				s.slots[i] = *sl
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// sweep removes entries idle longer than ttl at now and returns how many
+// it evicted. Backward-shift deletions can relocate entries into already
+// scanned positions of a wrapping cluster, so a single pass is best
+// effort — stragglers are caught lazily or by the next sweep. Caller must
+// hold s.mu.
+func (s *shard) sweep(now, ttl int64) int {
+	evicted := 0
+	for i := range s.slots {
+		for s.slots[i].state == slotUsed && now-s.slots[i].touched > ttl {
+			s.remove(uint32(i))
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// evictStalest removes the least-recently-touched entry within the probe
+// window starting at home (extending until at least one used slot was
+// seen), making room when the shard is at its size cap. Deterministic:
+// the scan order and tie-break (first seen wins) are fixed. Caller must
+// hold s.mu and s.count > 0.
+func (s *shard) evictStalest(home uint32) {
+	mask := uint32(len(s.slots) - 1)
+	const window = 64
+	var (
+		best      uint32
+		bestTouch int64
+		found     bool
+	)
+	i := home & mask
+	for scanned := 0; scanned < window || !found; scanned++ {
+		if scanned >= len(s.slots) && found {
+			break
+		}
+		sl := &s.slots[i]
+		if sl.state == slotUsed && (!found || sl.touched < bestTouch) {
+			best, bestTouch, found = i, sl.touched, true
+		}
+		i = (i + 1) & mask
+	}
+	s.remove(best)
+}
+
+// grow doubles the shard's slot array and rehashes in slot order
+// (deterministic given identical contents).
+func (s *shard) grow() {
+	old := s.slots
+	s.slots = make([]slot, len(old)*2)
+	s.count = 0
+	for i := range old {
+		if old[i].state == slotUsed {
+			s.place(old[i].hash, old[i].key, old[i].class, old[i].touched)
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes the table for logs.
+func (t *FlowTable) String() string {
+	st := t.Stats()
+	return fmt.Sprintf("flowtable{resident=%d hits=%d misses=%d evictions=%d shards=%d}",
+		st.Resident, st.Hits, st.Misses, st.Evictions, len(t.shards))
+}

@@ -1,0 +1,73 @@
+package classify
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pdds/internal/core"
+)
+
+// FuzzClassConfig throws arbitrary bytes at the config parser. The
+// contract: ParseConfig never panics, and any config it accepts is fully
+// valid — Validate passes, the derived SDPs satisfy the scheduler's
+// contract, and a Classifier can be built from it.
+func FuzzClassConfig(f *testing.F) {
+	// Seed with the real corpus plus edge-shaped inputs.
+	for _, name := range []string{"basic.conf", "full.conf", "bom_crlf.conf"} {
+		b, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, s := range []string{
+		"",
+		"class a\nddp 1\ndefault\n",
+		"class a\n ddp 2\n match src 10.0.0.0/8 proto udp dscp 46\nclass a\n ddp 1\n default\n",
+		"class x\nddp 1e300\ndefault\nmaxq 99999999\n",
+		"class x\nddp 0.0001\nmatch flow 1.2.3.4:5 [::1]:6 250\ndefault\n",
+		"ddp 1\nclass late\n",
+		"class a\nddp inf\ndefault\n",
+		"class a\nddp 1\nmatch dst-port 0-65535 src-port 5-5\ndefault\n",
+		"\uFEFFclass bom\r\nddp 1\r\ndefault\r\n",
+		"class a # trailing\nddp 1 # comment\ndefault\n# done\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v", verr)
+		}
+		sdps := cfg.SDPs()
+		if len(sdps) != len(cfg.Classes) {
+			t.Fatalf("SDPs: %d values for %d classes", len(sdps), len(cfg.Classes))
+		}
+		core.ValidateSDPs(sdps) // panics if the scheduler contract is violated
+		c, nerr := New(cfg, FlowTableConfig{Shards: 1, InitialFlows: 4, MaxFlows: 16})
+		if nerr != nil {
+			t.Fatalf("New on a parsed config: %v", nerr)
+		}
+		// Classification must be total-or-explicit: ok=false only when no
+		// default exists, and any returned index must be in range.
+		k := key(1)
+		cls, ok := c.Classify(k, 7, 0)
+		if ok && (cls < 0 || cls >= len(cfg.Classes)) {
+			t.Fatalf("class index %d out of range [0,%d)", cls, len(cfg.Classes))
+		}
+		if !ok && cfg.DefaultClass() >= 0 {
+			t.Fatal("config has a default class but classification missed")
+		}
+		// Filters must round-trip through String without panicking.
+		for _, tc := range cfg.Classes {
+			for _, fl := range tc.Filters {
+				_ = fl.String()
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package classify
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig reads the line-oriented traffic-class grammar:
+//
+//	# proportional-DiffServ edge classes, lowest class first
+//	class bulk
+//	  ddp 8            # relative delay target (non-increasing down the file)
+//	  default          # traffic matching no filter lands here
+//	  maxq 2048        # optional per-class queue bound, packets
+//	  match src 10.0.0.0/8 proto udp
+//	class interactive
+//	  ddp 1
+//	  match dscp 46
+//	  match dst-port 5000-5999
+//
+// One `class <name>` opens a class; the indented (indentation is
+// cosmetic) `ddp`, `default`, `maxq` and `match` lines apply to the most
+// recent class. Each `match` line is one Filter: its space-separated
+// element/argument tokens are ANDed, and a class's match lines are ORed.
+// Elements:
+//
+//	src <ip|cidr>          dst <ip|cidr>
+//	src-port <p|lo-hi>     dst-port <p|lo-hi>
+//	proto <udp|tcp|0-255>  dscp <0-255>
+//	flow <src-ip:port> <dst-ip:port> <proto>
+//
+// Blank lines and `#` comments (full-line or trailing) are ignored, a
+// UTF-8 BOM is stripped, and CRLF line endings are accepted. Declaration
+// order defines class indices. The returned config is validated.
+func ParseConfig(r io.Reader) (*Config, error) {
+	sc := bufio.NewScanner(r)
+	cfg := &Config{}
+	var cur *TrafficClass
+	ddpSet := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if lineNo == 1 {
+			line = strings.TrimPrefix(line, "\uFEFF")
+		}
+		line = strings.TrimSuffix(line, "\r")
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("classify: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "class":
+			if len(fields) != 2 {
+				return nil, fail("want `class <name>`, got %d tokens", len(fields))
+			}
+			if cur != nil && !ddpSet {
+				return nil, fail("class %q declared before class %q got a ddp", fields[1], cur.Name)
+			}
+			cfg.Classes = append(cfg.Classes, TrafficClass{Name: fields[1]})
+			cur = &cfg.Classes[len(cfg.Classes)-1]
+			ddpSet = false
+		case "ddp":
+			if cur == nil {
+				return nil, fail("ddp before any class declaration")
+			}
+			if len(fields) != 2 {
+				return nil, fail("want `ddp <value>`")
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fail("bad ddp %q: %v", fields[1], err)
+			}
+			if ddpSet {
+				return nil, fail("class %q: duplicate ddp", cur.Name)
+			}
+			cur.DDP = v
+			ddpSet = true
+		case "default":
+			if cur == nil {
+				return nil, fail("default before any class declaration")
+			}
+			if len(fields) != 1 {
+				return nil, fail("`default` takes no arguments")
+			}
+			if cur.Default {
+				return nil, fail("class %q: duplicate default", cur.Name)
+			}
+			cur.Default = true
+		case "maxq":
+			if cur == nil {
+				return nil, fail("maxq before any class declaration")
+			}
+			if len(fields) != 2 {
+				return nil, fail("want `maxq <packets>`")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fail("bad maxq %q: want a positive packet count", fields[1])
+			}
+			cur.MaxQueue = n
+		case "match":
+			if cur == nil {
+				return nil, fail("match before any class declaration")
+			}
+			f, err := parseFilter(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.Filters = append(cur.Filters, f)
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("classify: read config: %w", err)
+	}
+	if cur != nil && !ddpSet {
+		return nil, fmt.Errorf("classify: class %q has no ddp", cur.Name)
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("classify: config declares no classes")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// LoadConfig parses the config file at path.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// parseFilter turns one match line's tokens into a Filter.
+func parseFilter(tokens []string) (Filter, error) {
+	if len(tokens) == 0 {
+		return Filter{}, fmt.Errorf("match line has no elements")
+	}
+	var f Filter
+	for i := 0; i < len(tokens); {
+		switch tokens[i] {
+		case "src", "dst":
+			if i+1 >= len(tokens) {
+				return Filter{}, fmt.Errorf("%s needs an address or prefix", tokens[i])
+			}
+			p, err := parsePrefix(tokens[i+1])
+			if err != nil {
+				return Filter{}, fmt.Errorf("%s %q: %v", tokens[i], tokens[i+1], err)
+			}
+			if tokens[i] == "src" {
+				f.Elements = append(f.Elements, SrcAddr{Prefix: p})
+			} else {
+				f.Elements = append(f.Elements, DstAddr{Prefix: p})
+			}
+			i += 2
+		case "src-port", "dst-port":
+			if i+1 >= len(tokens) {
+				return Filter{}, fmt.Errorf("%s needs a port or lo-hi range", tokens[i])
+			}
+			lo, hi, err := parsePortRange(tokens[i+1])
+			if err != nil {
+				return Filter{}, fmt.Errorf("%s %q: %v", tokens[i], tokens[i+1], err)
+			}
+			if tokens[i] == "src-port" {
+				f.Elements = append(f.Elements, SrcPort{Lo: lo, Hi: hi})
+			} else {
+				f.Elements = append(f.Elements, DstPort{Lo: lo, Hi: hi})
+			}
+			i += 2
+		case "proto":
+			if i+1 >= len(tokens) {
+				return Filter{}, fmt.Errorf("proto needs udp, tcp or a number")
+			}
+			v, err := parseProto(tokens[i+1])
+			if err != nil {
+				return Filter{}, err
+			}
+			f.Elements = append(f.Elements, Proto{Value: v})
+			i += 2
+		case "dscp":
+			if i+1 >= len(tokens) {
+				return Filter{}, fmt.Errorf("dscp needs a byte value")
+			}
+			v, err := strconv.ParseUint(tokens[i+1], 10, 8)
+			if err != nil {
+				return Filter{}, fmt.Errorf("dscp %q: want 0-255", tokens[i+1])
+			}
+			f.Elements = append(f.Elements, DSCP{Value: uint8(v)})
+			i += 2
+		case "flow":
+			if i+3 >= len(tokens) {
+				return Filter{}, fmt.Errorf("flow needs `<src-ip:port> <dst-ip:port> <proto>`")
+			}
+			src, err := netip.ParseAddrPort(tokens[i+1])
+			if err != nil {
+				return Filter{}, fmt.Errorf("flow src %q: %v", tokens[i+1], err)
+			}
+			dst, err := netip.ParseAddrPort(tokens[i+2])
+			if err != nil {
+				return Filter{}, fmt.Errorf("flow dst %q: %v", tokens[i+2], err)
+			}
+			proto, err := parseProto(tokens[i+3])
+			if err != nil {
+				return Filter{}, err
+			}
+			f.Elements = append(f.Elements, Flow{Key: FlowKey{
+				Src: src.Addr().Unmap(), Dst: dst.Addr().Unmap(),
+				SrcPort: src.Port(), DstPort: dst.Port(), Proto: proto,
+			}})
+			i += 4
+		default:
+			return Filter{}, fmt.Errorf("unknown match element %q", tokens[i])
+		}
+	}
+	return f, nil
+}
+
+// parsePrefix accepts a bare address (host prefix) or CIDR notation.
+func parsePrefix(s string) (netip.Prefix, error) {
+	if strings.ContainsRune(s, '/') {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return netip.Prefix{}, err
+		}
+		return netip.PrefixFrom(p.Addr().Unmap(), p.Bits()), nil
+	}
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	a = a.Unmap()
+	return netip.PrefixFrom(a, a.BitLen()), nil
+}
+
+func parsePortRange(s string) (lo, hi uint16, err error) {
+	loS, hiS, ranged := strings.Cut(s, "-")
+	l, err := strconv.ParseUint(loS, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("want a port in 0-65535")
+	}
+	if !ranged {
+		return uint16(l), uint16(l), nil
+	}
+	h, err := strconv.ParseUint(hiS, 10, 16)
+	if err != nil || h < l {
+		return 0, 0, fmt.Errorf("want lo-hi with lo <= hi in 0-65535")
+	}
+	return uint16(l), uint16(h), nil
+}
+
+func parseProto(s string) (uint8, error) {
+	switch s {
+	case "udp":
+		return ProtoUDP, nil
+	case "tcp":
+		return ProtoTCP, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("proto %q: want udp, tcp or 0-255", s)
+	}
+	return uint8(v), nil
+}

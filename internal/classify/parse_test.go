@@ -1,0 +1,182 @@
+package classify
+
+import (
+	"net/netip"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	cfg, err := LoadConfig("testdata/basic.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 2 {
+		t.Fatalf("want 2 classes, got %d", len(cfg.Classes))
+	}
+	bulk, inter := cfg.Classes[0], cfg.Classes[1]
+	if bulk.Name != "bulk" || bulk.DDP != 4 || !bulk.Default || len(bulk.Filters) != 0 {
+		t.Errorf("bulk parsed as %+v", bulk)
+	}
+	if inter.Name != "interactive" || inter.DDP != 1 || inter.Default || len(inter.Filters) != 1 {
+		t.Errorf("interactive parsed as %+v", inter)
+	}
+	if got := inter.Filters[0].String(); got != "dst-port 5000-5999" {
+		t.Errorf("filter = %q", got)
+	}
+}
+
+func TestParseFullCorpus(t *testing.T) {
+	cfg, err := LoadConfig("testdata/full.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 4 {
+		t.Fatalf("want 4 classes, got %d", len(cfg.Classes))
+	}
+	// Filter counts per class, in declaration order.
+	for i, want := range []int{1, 4, 2, 2} {
+		if got := len(cfg.Classes[i].Filters); got != want {
+			t.Errorf("class %q: %d filters, want %d", cfg.Classes[i].Name, got, want)
+		}
+	}
+	if cfg.Classes[0].MaxQueue != 512 || cfg.Classes[1].MaxQueue != 2048 {
+		t.Errorf("maxq: got %d, %d", cfg.Classes[0].MaxQueue, cfg.Classes[1].MaxQueue)
+	}
+	// Spot-check element round-trips through String.
+	wantFilters := map[string]bool{
+		"src 192.0.2.0/24 proto udp":                   true,
+		"dst 203.0.113.7/32":                           true,
+		"proto tcp dst-port 80":                        true,
+		"src 2001:db8::/32 src-port 1024-65535":        true,
+		"dscp 46":                                      true,
+		"flow 198.51.100.1:9000 198.51.100.2:9001 udp": true,
+		"src-port 179 proto tcp":                       true, // `proto 6` renders as tcp
+	}
+	for _, tc := range cfg.Classes {
+		for _, f := range tc.Filters {
+			delete(wantFilters, f.String())
+		}
+	}
+	for missing := range wantFilters {
+		t.Errorf("filter %q not found in parsed config", missing)
+	}
+	// Classification spot checks against the declared semantics.
+	c, err := New(cfg, FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		k    FlowKey
+		dscp uint8
+		want string
+	}{
+		{"ef dscp", FlowKey{Src: mustAddr(t, "172.16.5.5"), Dst: mustAddr(t, "8.8.8.8"), SrcPort: 1, DstPort: 1, Proto: ProtoUDP}, 46, "interactive"},
+		{"bulk v4 prefix", FlowKey{Src: mustAddr(t, "10.9.9.9"), Dst: mustAddr(t, "8.8.8.8"), SrcPort: 1, DstPort: 1, Proto: ProtoTCP}, 0, "bulk"},
+		{"bulk v6 prefix", FlowKey{Src: mustAddr(t, "2001:db8::1"), Dst: mustAddr(t, "2001:db8::2"), SrcPort: 2000, DstPort: 1, Proto: ProtoUDP}, 0, "bulk"},
+		{"exact flow", FlowKey{Src: mustAddr(t, "198.51.100.1"), Dst: mustAddr(t, "198.51.100.2"), SrcPort: 9000, DstPort: 9001, Proto: ProtoUDP}, 0, "control"},
+		{"bgp", FlowKey{Src: mustAddr(t, "172.16.0.1"), Dst: mustAddr(t, "172.16.0.2"), SrcPort: 179, DstPort: 40000, Proto: ProtoTCP}, 0, "control"},
+		{"scavenger udp", FlowKey{Src: mustAddr(t, "192.0.2.55"), Dst: mustAddr(t, "8.8.8.8"), SrcPort: 1, DstPort: 1, Proto: ProtoUDP}, 0, "scavenger"},
+		{"default", FlowKey{Src: mustAddr(t, "172.16.0.1"), Dst: mustAddr(t, "8.8.8.8"), SrcPort: 1, DstPort: 1, Proto: ProtoUDP}, 0, "scavenger"},
+	}
+	for _, ck := range checks {
+		cls, ok := c.Classify(ck.k, ck.dscp, 0)
+		if !ok {
+			t.Errorf("%s: unclassified", ck.name)
+			continue
+		}
+		if got := cfg.Classes[cls].Name; got != ck.want {
+			t.Errorf("%s: landed in %q, want %q", ck.name, got, ck.want)
+		}
+	}
+}
+
+// TestParseBOMAndCRLF: a UTF-8 BOM and Windows line endings must not
+// confuse the parser.
+func TestParseBOMAndCRLF(t *testing.T) {
+	cfg, err := LoadConfig(filepath.Join("testdata", "bom_crlf.conf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Classes) != 2 || cfg.Classes[0].Name != "gold" || cfg.Classes[1].Name != "silver" {
+		t.Fatalf("parsed %+v", cfg.Classes)
+	}
+	if !cfg.Classes[0].Default || cfg.Classes[0].DDP != 2 {
+		t.Errorf("gold parsed as %+v", cfg.Classes[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, conf, wantSub string
+	}{
+		{"unknown directive", "class a\nddp 1\ndefault\nfrobnicate 3\n", "unknown directive"},
+		{"ddp before class", "ddp 1\n", "before any class"},
+		{"match before class", "match proto udp\n", "before any class"},
+		{"default before class", "default\n", "before any class"},
+		{"maxq before class", "maxq 10\n", "before any class"},
+		{"class token count", "class a b\n", "class <name>"},
+		{"duplicate ddp", "class a\nddp 1\nddp 2\ndefault\n", "duplicate ddp"},
+		{"missing ddp last", "class a\ndefault\n", "has no ddp"},
+		{"missing ddp mid", "class a\ndefault\nclass b\nddp 1\nmatch proto udp\n", "got a ddp"},
+		{"bad ddp", "class a\nddp fast\ndefault\n", "bad ddp"},
+		{"inf ddp", "class a\nddp inf\ndefault\n", "positive and finite"},
+		{"nan ddp", "class a\nddp nan\ndefault\n", "positive and finite"},
+		{"increasing ddp", "class a\nddp 1\ndefault\nclass b\nddp 2\nmatch proto udp\n", "exceeds"},
+		{"duplicate default", "class a\nddp 1\ndefault\ndefault\n", "duplicate default"},
+		{"default with args", "class a\nddp 1\ndefault yes\n", "takes no arguments"},
+		{"two defaults", "class a\nddp 1\ndefault\nclass b\nddp 1\ndefault\n", "at most one"},
+		{"duplicate name", "class a\nddp 1\ndefault\nclass a\nddp 1\nmatch proto udp\n", "duplicate class name"},
+		{"unreachable", "class a\nddp 1\ndefault\nclass b\nddp 1\n", "never receive traffic"},
+		{"bad maxq", "class a\nddp 1\ndefault\nmaxq zero\n", "bad maxq"},
+		{"maxq zero", "class a\nddp 1\ndefault\nmaxq 0\n", "positive packet count"},
+		{"empty config", "# nothing here\n", "no classes"},
+		{"empty match", "class a\nddp 1\nmatch\n", "no elements"},
+		{"unknown element", "class a\nddp 1\nmatch color blue\n", "unknown match element"},
+		{"bad cidr", "class a\nddp 1\nmatch src 10.0.0.0/99\n", "src"},
+		{"src no arg", "class a\nddp 1\nmatch src\n", "needs an address"},
+		{"bad port", "class a\nddp 1\nmatch dst-port 70000\n", "port"},
+		{"inverted range", "class a\nddp 1\nmatch dst-port 500-100\n", "lo <= hi"},
+		{"bad proto", "class a\nddp 1\nmatch proto icmpish\n", "proto"},
+		{"flow short", "class a\nddp 1\nmatch flow 1.2.3.4:5 6.7.8.9:10\n", "flow needs"},
+		{"flow bad addr", "class a\nddp 1\nmatch flow nope 6.7.8.9:10 udp\n", "flow src"},
+		{"too many classes", strings.Repeat("class x\nddp 1\nmatch proto udp\n", 65), "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := ParseConfig(strings.NewReader(tc.conf))
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseErrorsCarryLineNumbers: parse failures name the offending line.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := ParseConfig(strings.NewReader("class a\nddp 1\ndefault\nbogus\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("want error naming line 4, got %v", err)
+	}
+}
+
+// TestParseNormalizesMappedAddrs: 4-mapped-in-6 literals behave like
+// their IPv4 equivalents, matching FlowKey's canonical (Unmap) form.
+func TestParseNormalizesMappedAddrs(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader("class a\nddp 1\nmatch src ::ffff:10.0.0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := cfg.Classes[0].Filters[0].Elements[0].(SrcAddr)
+	if el.Prefix.Addr() != netip.MustParseAddr("10.0.0.1") {
+		t.Fatalf("mapped addr not unmapped: %v", el.Prefix)
+	}
+	k := FlowKey{Src: mustAddr(t, "10.0.0.1"), Dst: mustAddr(t, "8.8.8.8"), SrcPort: 1, DstPort: 1, Proto: ProtoUDP}
+	if !el.Match(k, 0) {
+		t.Fatal("v4 key should match unmapped v4-mapped prefix")
+	}
+}

@@ -1,0 +1,25 @@
+package netio
+
+import (
+	"pdds/internal/classify"
+)
+
+// ClassUnspecified is the sentinel class byte senders use when they want
+// the edge to classify for them: it never indexes a scheduler class, so a
+// datagram carrying it must be resolved by the configured Classifier (or
+// be counted in Stats.BadClass when there is none).
+const ClassUnspecified = 0xFF
+
+// Classifier resolves a flow identity (plus the datagram's DS byte — the
+// wire header's class byte doubles as one) to a scheduler class index.
+// The forwarder consults it on the ingress path for datagrams that carry
+// ClassUnspecified or an out-of-range class byte, and for every datagram
+// when Config.DistrustHeader is set. now is nanoseconds since the
+// forwarder started (the flow-table TTL time base).
+//
+// Implementations must be safe for concurrent use and must not allocate
+// on the steady-state path; *classify.Classifier satisfies this.
+type Classifier interface {
+	Classify(k classify.FlowKey, dscp uint8, now int64) (class int, ok bool)
+	NumClasses() int
+}

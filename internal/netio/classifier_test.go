@@ -1,0 +1,278 @@
+package netio
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pdds/internal/classify"
+)
+
+// twoClassConfig builds a programmatic two-class config: class 0 "slow"
+// is the default, class 1 "fast" admits flows whose source port is
+// fastPort.
+func twoClassConfig(fastPort uint16) *classify.Config {
+	return &classify.Config{Classes: []classify.TrafficClass{
+		{Name: "slow", DDP: 2, Default: true},
+		{Name: "fast", DDP: 1, Filters: []classify.Filter{
+			{Elements: []classify.FilterElement{classify.SrcPort{Lo: fastPort, Hi: fastPort}}},
+		}},
+	}}
+}
+
+func newClassifier(t *testing.T, cfg *classify.Config) *classify.Classifier {
+	t.Helper()
+	c, err := classify.New(cfg, classify.FlowTableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestForwarderClassifiesUnspecified: untagged (ClassUnspecified)
+// datagrams are classified by flow identity, the resolved class is
+// re-marked into the forwarded datagram, and nothing lands in BadClass.
+func TestForwarderClassifiesUnspecified(t *testing.T) {
+	recv := sink(t)
+
+	// Bind the "fast" sender first so its port can appear in the config.
+	fastSend, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fastSend.Close()
+	fastPort := fastSend.LocalAddr().(*net.UDPAddr).AddrPort().Port()
+
+	ccfg := twoClassConfig(fastPort)
+	fwd, err := Listen(Config{
+		Listen:     "127.0.0.1:0",
+		Forward:    recv.LocalAddr().String(),
+		SDP:        ccfg.SDPs(),
+		RateBps:    50e6,
+		Classifier: newClassifier(t, ccfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	slowSend := dialIngress(t, fwd)
+
+	dst := fwd.LocalAddr().(*net.UDPAddr)
+	const perSender = 20
+	for i := 0; i < perSender; i++ {
+		if _, err := fastSend.WriteToUDP(datagram(ClassUnspecified, uint64(i), 64), dst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := slowSend.Write(datagram(ClassUnspecified, uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every datagram must come out re-marked with its resolved class.
+	counts := map[uint8]int{}
+	buf := make([]byte, 64*1024)
+	recv.SetReadDeadline(time.Now().Add(10 * time.Second))
+	for got := 0; got < 2*perSender; got++ {
+		n, err := recv.Read(buf)
+		if err != nil {
+			t.Fatalf("sink read after %d datagrams: %v", got, err)
+		}
+		hdr, _, derr := Decode(buf[:n])
+		if derr != nil {
+			t.Fatalf("sink got undecodable datagram: %v", derr)
+		}
+		counts[hdr.Class]++
+	}
+	if counts[0] != perSender || counts[1] != perSender {
+		t.Fatalf("re-marked class counts = %v, want %d each of class 0 and 1", counts, perSender)
+	}
+	st := waitStats(t, fwd, 5*time.Second, func(s Stats) bool {
+		return s.Forwarded == 2*perSender
+	}, "all datagrams forwarded")
+	if st.BadClass != 0 || st.BadHeader != 0 {
+		t.Fatalf("stats %+v: classified traffic must not count as bad", st)
+	}
+	checkConservation(t, st, nil)
+}
+
+// TestForwarderTrustsInRangeHeader: with a classifier but without
+// DistrustHeader, an in-range header class is honored as-is (no re-mark,
+// no flow-table traffic for tagged datagrams).
+func TestForwarderTrustsInRangeHeader(t *testing.T) {
+	recv := sink(t)
+	ccfg := twoClassConfig(1) // port 1: matches nothing real
+	cls := newClassifier(t, ccfg)
+	fwd, err := Listen(Config{
+		Listen:     "127.0.0.1:0",
+		Forward:    recv.LocalAddr().String(),
+		SDP:        ccfg.SDPs(),
+		RateBps:    50e6,
+		Classifier: cls,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	send := dialIngress(t, fwd)
+	if _, err := send.Write(datagram(1, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	recv.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := recv.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, _ := Decode(buf[:n])
+	if hdr.Class != 1 {
+		t.Fatalf("trusted header class re-marked to %d", hdr.Class)
+	}
+	if got := cls.Table().Stats(); got.Inserts != 0 {
+		t.Fatalf("trusted datagram consulted the classifier: %+v", got)
+	}
+}
+
+// TestForwarderDistrustHeader: DistrustHeader classifies every datagram
+// from flow identity, overriding in-range header bytes.
+func TestForwarderDistrustHeader(t *testing.T) {
+	recv := sink(t)
+	fastSend, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fastSend.Close()
+	fastPort := fastSend.LocalAddr().(*net.UDPAddr).AddrPort().Port()
+
+	ccfg := twoClassConfig(fastPort)
+	fwd, err := Listen(Config{
+		Listen:         "127.0.0.1:0",
+		Forward:        recv.LocalAddr().String(),
+		SDP:            ccfg.SDPs(),
+		RateBps:        50e6,
+		Classifier:     newClassifier(t, ccfg),
+		DistrustHeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	// The sender claims class 0; the edge must override to 1 (fast).
+	dst := fwd.LocalAddr().(*net.UDPAddr)
+	if _, err := fastSend.WriteToUDP(datagram(0, 1, 64), dst); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	recv.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := recv.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, _ := Decode(buf[:n])
+	if hdr.Class != 1 {
+		t.Fatalf("distrusted datagram forwarded as class %d, want re-marked 1", hdr.Class)
+	}
+}
+
+// TestForwarderClassifierMiss: a classifier with no default and no
+// matching filter yields BadClass, and conservation still holds.
+func TestForwarderClassifierMiss(t *testing.T) {
+	recv := sink(t)
+	ccfg := &classify.Config{Classes: []classify.TrafficClass{
+		{Name: "only", DDP: 1, Filters: []classify.Filter{
+			{Elements: []classify.FilterElement{classify.SrcPort{Lo: 1, Hi: 1}}},
+		}},
+	}}
+	fwd, err := Listen(Config{
+		Listen:     "127.0.0.1:0",
+		Forward:    recv.LocalAddr().String(),
+		SDP:        ccfg.SDPs(),
+		RateBps:    50e6,
+		Classifier: newClassifier(t, ccfg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	send := dialIngress(t, fwd)
+	if _, err := send.Write(datagram(ClassUnspecified, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	st := waitStats(t, fwd, 5*time.Second, func(s Stats) bool {
+		return s.BadClass == 1
+	}, "classifier miss to count as BadClass")
+	checkConservation(t, st, nil)
+}
+
+// TestForwarderPerClassBound: ClassMaxPackets caps one class's backlog
+// without touching the aggregate bound, with dropped datagrams fully
+// accounted.
+func TestForwarderPerClassBound(t *testing.T) {
+	recv := sink(t)
+	fwd, err := Listen(Config{
+		Listen:          "127.0.0.1:0",
+		Forward:         recv.LocalAddr().String(),
+		SDP:             []float64{1, 2},
+		RateBps:         8 * 1024, // ~1 KiB/s: essentially frozen egress
+		MaxPackets:      100,
+		ClassMaxPackets: []int{2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+	send := dialIngress(t, fwd)
+	const total = 30
+	for i := 0; i < total; i++ {
+		if _, err := send.Write(datagram(0, uint64(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := waitStats(t, fwd, 10*time.Second, func(s Stats) bool {
+		return s.Received == total && s.Dropped > 0
+	}, "per-class bound drops")
+	if st.Queued > 3 {
+		t.Fatalf("stats %+v: class 0 backlog exceeds its bound of 2", st)
+	}
+	checkConservation(t, st, nil)
+}
+
+// TestListenRejectsBadClassifierConfigs: misconfigured classifier/bounds
+// fail fast at Listen.
+func TestListenRejectsBadClassifierConfigs(t *testing.T) {
+	recv := sink(t)
+	base := Config{
+		Listen:  "127.0.0.1:0",
+		Forward: recv.LocalAddr().String(),
+		SDP:     []float64{1, 2, 4},
+		RateBps: 1e6,
+	}
+
+	cfg := base
+	cfg.Classifier = newClassifier(t, twoClassConfig(1)) // 2 classes vs 3 SDPs
+	if f, err := Listen(cfg); err == nil {
+		f.Close()
+		t.Fatal("class-count mismatch must fail Listen")
+	}
+
+	cfg = base
+	cfg.DistrustHeader = true
+	if f, err := Listen(cfg); err == nil {
+		f.Close()
+		t.Fatal("DistrustHeader without Classifier must fail Listen")
+	}
+
+	cfg = base
+	cfg.ClassMaxPackets = []int{1}
+	if f, err := Listen(cfg); err == nil {
+		f.Close()
+		t.Fatal("ClassMaxPackets length mismatch must fail Listen")
+	}
+
+	cfg = base
+	cfg.ClassMaxPackets = []int{1, -1, 1}
+	if f, err := Listen(cfg); err == nil {
+		f.Close()
+		t.Fatal("negative ClassMaxPackets must fail Listen")
+	}
+}

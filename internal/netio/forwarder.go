@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pdds/internal/classify"
 	"pdds/internal/core"
 	"pdds/internal/telemetry"
 )
@@ -28,12 +30,32 @@ type Config struct {
 	// MaxPackets bounds the aggregate queue; arriving datagrams beyond
 	// it are dropped (0 = 4096).
 	MaxPackets int
+	// ClassMaxPackets, when non-nil, bounds each class's queue
+	// individually (len must equal the scheduler's class count; 0 means
+	// only the aggregate bound applies to that class). Arrivals beyond a
+	// class's bound are dropped with full accounting, so one class's
+	// burst cannot occupy the whole aggregate queue.
+	ClassMaxPackets []int
+	// Classifier, when non-nil, resolves flow identity to a class for
+	// datagrams that carry ClassUnspecified or an out-of-range class
+	// byte — and for every datagram when DistrustHeader is set. The
+	// resolved class is re-marked into the forwarded datagram's class
+	// byte so downstream hops and sinks see the edge's decision. When
+	// nil, the ingress path is byte-for-byte today's behaviour: the
+	// header class is trusted and out-of-range bytes count as BadClass.
+	Classifier Classifier
+	// DistrustHeader, with a Classifier set, classifies every datagram
+	// from its flow identity instead of trusting in-range header class
+	// bytes (the header byte still participates as the DS byte that
+	// `dscp` filters see).
+	DistrustHeader bool
 	// DrainTimeout bounds the graceful drain Close performs: queued
 	// datagrams keep transmitting — still paced at RateBps — for up to
 	// this long before the remainder is dropped. Zero drops the backlog
 	// immediately on Close. Either way every queued datagram ends up in
 	// Forwarded or Dropped, so the conservation invariant
-	// Received = Forwarded + Dropped + BadHeader holds after shutdown.
+	// Received = Forwarded + Dropped + BadHeader + BadClass holds after
+	// shutdown.
 	DrainTimeout time.Duration
 	// DisablePooling turns off ingress buffer and packet reuse, forcing
 	// a fresh allocation per datagram (debugging aid; pooling is the
@@ -86,15 +108,22 @@ const (
 
 // Stats are cumulative forwarder counters. Every received datagram is
 // accounted exactly once: Received = Forwarded + Dropped + BadHeader +
-// Queued at any snapshot, with Queued reaching 0 after Close.
+// BadClass + Queued at any snapshot, with Queued reaching 0 after Close.
 type Stats struct {
 	Received  uint64
 	Forwarded uint64
-	// Dropped counts queue-full drops, egress write failures that
-	// exhausted their retries, and datagrams discarded at Close.
+	// Dropped counts queue-full drops (aggregate or per-class), egress
+	// write failures that exhausted their retries, and datagrams
+	// discarded at Close.
 	Dropped uint64
-	// BadHeader counts datagrams that failed to decode.
+	// BadHeader counts datagrams that failed to decode (short or
+	// wrong-version headers).
 	BadHeader uint64
+	// BadClass counts structurally valid datagrams whose class could not
+	// be resolved: an out-of-range or ClassUnspecified class byte with no
+	// Classifier configured, or a Classifier miss (no filter matched and
+	// no default class exists).
+	BadClass uint64
 	// Queued is the instantaneous scheduler backlog at snapshot time.
 	Queued uint64
 }
@@ -118,15 +147,26 @@ type Forwarder struct {
 	// drain deadline) decides the remaining backlog will be dropped.
 	abort atomic.Bool
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	sched   core.Scheduler
-	queued  int
-	closing bool
-	drainBy time.Time // drain deadline; valid once closing is set
-	stats   Stats
-	pool    *core.PacketPool // nil when pooling is disabled
-	bufs    [][]byte         // payload buffer free list (LIFO)
+	// ingressKey holds the local socket's canonical address and port:
+	// the destination side of every arriving flow's 5-tuple, resolved
+	// once at bind time so the receive loop builds flow keys without
+	// touching the socket again.
+	ingressAddr netip.Addr
+	ingressPort uint16
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	sched  core.Scheduler
+	queued int
+	// classQueued tracks the per-class backlog for ClassMaxPackets
+	// enforcement (maintained even when unbounded — it is one slice
+	// index per datagram).
+	classQueued []int
+	closing     bool
+	drainBy     time.Time // drain deadline; valid once closing is set
+	stats       Stats
+	pool        *core.PacketPool // nil when pooling is disabled
+	bufs        [][]byte         // payload buffer free list (LIFO)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -159,14 +199,38 @@ func Listen(cfg Config) (*Forwarder, error) {
 		in.Close()
 		return nil, err
 	}
+	if cfg.Classifier != nil && cfg.Classifier.NumClasses() != sched.NumClasses() {
+		in.Close()
+		return nil, fmt.Errorf("netio: classifier declares %d classes, scheduler %d",
+			cfg.Classifier.NumClasses(), sched.NumClasses())
+	}
+	if cfg.DistrustHeader && cfg.Classifier == nil {
+		in.Close()
+		return nil, fmt.Errorf("netio: DistrustHeader requires a Classifier")
+	}
+	if cfg.ClassMaxPackets != nil && len(cfg.ClassMaxPackets) != sched.NumClasses() {
+		in.Close()
+		return nil, fmt.Errorf("netio: ClassMaxPackets has %d entries for %d classes",
+			len(cfg.ClassMaxPackets), sched.NumClasses())
+	}
+	for i, b := range cfg.ClassMaxPackets {
+		if b < 0 {
+			in.Close()
+			return nil, fmt.Errorf("netio: ClassMaxPackets[%d] = %d must be >= 0", i, b)
+		}
+	}
+	local := in.LocalAddr().(*net.UDPAddr).AddrPort()
 	f := &Forwarder{
-		cfg:   cfg,
-		in:    in,
-		dst:   dst,
-		rate:  rate,
-		epoch: time.Now(),
-		sched: sched,
-		telem: cfg.Telemetry,
+		cfg:         cfg,
+		in:          in,
+		dst:         dst,
+		rate:        rate,
+		epoch:       time.Now(),
+		sched:       sched,
+		telem:       cfg.Telemetry,
+		ingressAddr: local.Addr().Unmap(),
+		ingressPort: local.Port(),
+		classQueued: make([]int, sched.NumClasses()),
 	}
 	if !cfg.DisablePooling {
 		f.pool = core.NewPacketPool()
@@ -286,9 +350,10 @@ func (f *Forwarder) recycleLocked(p *core.Packet) {
 func (f *Forwarder) receiveLoop() {
 	defer f.wg.Done()
 	scratch := make([]byte, 64*1024)
+	numClasses := f.sched.NumClasses()
 	var seq uint64
 	for {
-		n, _, err := f.in.ReadFromUDP(scratch)
+		n, from, err := f.in.ReadFromUDPAddrPort(scratch)
 		if err != nil {
 			// Closed socket (or a fatal error): stop receiving and
 			// wake the transmitter so it can drain or discard.
@@ -302,18 +367,47 @@ func (f *Forwarder) receiveLoop() {
 		f.mu.Lock()
 		f.stats.Received++
 		hdr, _, derr := Decode(scratch[:n])
-		if derr != nil || int(hdr.Class) >= f.sched.NumClasses() {
+		if derr != nil {
 			f.stats.BadHeader++
 			f.mu.Unlock()
 			continue
 		}
+		// Resolve the class. The header byte is trusted when it is in
+		// range (unless DistrustHeader); ClassUnspecified and
+		// out-of-range bytes go to the classifier. The raw byte doubles
+		// as the DS byte the classifier's dscp filters see.
 		class := int(hdr.Class)
+		trusted := class < numClasses && !f.cfg.DistrustHeader
+		if !trusted {
+			cls := f.cfg.Classifier
+			if cls == nil {
+				f.stats.BadClass++
+				f.mu.Unlock()
+				continue
+			}
+			key := classify.FlowKey{
+				Src:     from.Addr().Unmap(),
+				Dst:     f.ingressAddr,
+				SrcPort: from.Port(),
+				DstPort: f.ingressPort,
+				Proto:   classify.ProtoUDP,
+			}
+			c, ok := cls.Classify(key, hdr.Class, time.Since(f.epoch).Nanoseconds())
+			if !ok || c < 0 || c >= numClasses {
+				f.stats.BadClass++
+				f.mu.Unlock()
+				continue
+			}
+			class = c
+		}
 		now := f.now()
 		// Ordering contract: the arrival is recorded before the
 		// transmitter can observe the packet — and before any drop —
 		// so a departure or drop never precedes its arrival.
 		f.telem.Arrival(class, int64(n), now)
-		if f.queued >= f.cfg.MaxPackets || f.closing {
+		if f.queued >= f.cfg.MaxPackets || f.closing ||
+			(f.cfg.ClassMaxPackets != nil && f.cfg.ClassMaxPackets[class] > 0 &&
+				f.classQueued[class] >= f.cfg.ClassMaxPackets[class]) {
 			f.stats.Dropped++
 			f.telem.Drop(class, now)
 			f.mu.Unlock()
@@ -326,8 +420,14 @@ func (f *Forwarder) receiveLoop() {
 		p.Size = int64(n)
 		p.Arrival = now
 		p.Payload = append(f.getBufLocked(n), scratch[:n]...)
+		if class != int(hdr.Class) {
+			// Re-mark the DS byte with the edge's decision so downstream
+			// hops and sinks see the resolved class.
+			p.Payload[1] = byte(class)
+		}
 		f.sched.Enqueue(p, now)
 		f.queued++
+		f.classQueued[class]++
 		f.cond.Signal()
 		f.mu.Unlock()
 	}
@@ -369,10 +469,14 @@ func (f *Forwarder) transmitLoop() {
 		p := f.sched.Dequeue(depart)
 		if p == nil { // defensive: queued said otherwise
 			f.queued = 0
+			for i := range f.classQueued {
+				f.classQueued[i] = 0
+			}
 			f.mu.Unlock()
 			continue
 		}
 		f.queued--
+		f.classQueued[p.Class]--
 		f.mu.Unlock()
 
 		if wasEmpty {
@@ -403,8 +507,9 @@ func (f *Forwarder) transmitLoop() {
 }
 
 // discardQueuedLocked drops every queued packet with full accounting so
-// Received = Forwarded + Dropped + BadHeader holds after shutdown and the
-// telemetry backlog returns to zero. Caller must hold f.mu.
+// Received = Forwarded + Dropped + BadHeader + BadClass holds after
+// shutdown and the telemetry backlog returns to zero. Caller must hold
+// f.mu.
 func (f *Forwarder) discardQueuedLocked() {
 	now := f.now()
 	for {
@@ -417,6 +522,9 @@ func (f *Forwarder) discardQueuedLocked() {
 		f.recycleLocked(p)
 	}
 	f.queued = 0
+	for i := range f.classQueued {
+		f.classQueued[i] = 0
+	}
 }
 
 // sleepUntil sleeps until t in bounded chunks, returning early when the

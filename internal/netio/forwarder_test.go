@@ -57,11 +57,12 @@ func waitStats(t *testing.T, f *Forwarder, timeout time.Duration, cond func(Stat
 }
 
 // checkConservation asserts the stats invariant Received = Forwarded +
-// Dropped + BadHeader + Queued, and — when a registry is attached — that
+// Dropped + BadHeader + BadClass + Queued, and — when a registry is
+// attached — that
 // per-class telemetry agrees: arrivals = departures + drops + backlog.
 func checkConservation(t *testing.T, st Stats, reg *telemetry.Registry) {
 	t.Helper()
-	if st.Received != st.Forwarded+st.Dropped+st.BadHeader+st.Queued {
+	if st.Received != st.Forwarded+st.Dropped+st.BadHeader+st.BadClass+st.Queued {
 		t.Errorf("stats conservation violated: %+v", st)
 	}
 	if reg == nil {
@@ -78,8 +79,8 @@ func checkConservation(t *testing.T, st Stats, reg *telemetry.Registry) {
 		t.Errorf("telemetry conservation violated: arrivals=%d departures=%d drops=%d queued=%d",
 			arrivals, departures, drops, st.Queued)
 	}
-	if got := st.Received - st.BadHeader; arrivals != got {
-		t.Errorf("telemetry arrivals %d != good-header datagrams %d", arrivals, got)
+	if got := st.Received - st.BadHeader - st.BadClass; arrivals != got {
+		t.Errorf("telemetry arrivals %d != classified datagrams %d", arrivals, got)
 	}
 }
 
@@ -199,7 +200,7 @@ func TestForwarderWriteFailureAccounting(t *testing.T) {
 		}
 	}
 	st := waitStats(t, fwd, 10*time.Second, func(s Stats) bool {
-		return s.Received == total && s.Forwarded+s.Dropped+s.BadHeader == total && s.Queued == 0
+		return s.Received == total && s.Forwarded+s.Dropped+s.BadHeader+s.BadClass == total && s.Queued == 0
 	}, "write failures to be accounted")
 	if st.Forwarded != 0 || st.Dropped != total {
 		t.Fatalf("stats %+v: want all %d datagrams dropped on write failure", st, total)
@@ -343,7 +344,7 @@ func TestForwarderConservationMidFlightClose(t *testing.T) {
 			if st.Queued != 0 {
 				t.Fatalf("queue not empty after Close: %+v", st)
 			}
-			if st.Received != st.Forwarded+st.Dropped+st.BadHeader {
+			if st.Received != st.Forwarded+st.Dropped+st.BadHeader+st.BadClass {
 				t.Fatalf("unaccounted datagrams after Close: %+v", st)
 			}
 			checkConservation(t, st, reg)

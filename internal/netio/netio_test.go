@@ -159,8 +159,14 @@ func TestForwarderDropsOnOverflowAndBadHeaders(t *testing.T) {
 	if _, err := send.Write([]byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	// Class out of range counts as bad header too.
+	// Class out of range is structurally valid but unresolvable with no
+	// classifier: counted separately as BadClass.
 	dg := Header{Class: 77}.Encode(nil)
+	if _, err := send.Write(append(dg, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// So is the explicit "classify me" sentinel.
+	dg = Header{Class: ClassUnspecified}.Encode(nil)
 	if _, err := send.Write(append(dg, 0)); err != nil {
 		t.Fatal(err)
 	}
@@ -175,12 +181,12 @@ func TestForwarderDropsOnOverflowAndBadHeaders(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		st := fwd.Stats()
-		if st.BadHeader >= 2 && st.Dropped > 0 {
+		if st.BadHeader >= 1 && st.BadClass >= 2 && st.Dropped > 0 {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatalf("stats never showed drops/bad headers: %+v", fwd.Stats())
+	t.Fatalf("stats never showed drops/bad headers/bad classes: %+v", fwd.Stats())
 }
 
 func TestForwarderCloseIdempotent(t *testing.T) {

@@ -20,7 +20,10 @@ type metricsJSON struct {
 }
 
 type classMetricsJSON struct {
-	Class         int     `json:"class"`
+	Class int `json:"class"`
+	// Name is omitted for unlabeled registries so their metrics encoding
+	// stays byte-identical to historical output.
+	Name          string  `json:"name,omitempty"`
 	Arrivals      uint64  `json:"arrivals"`
 	Departures    uint64  `json:"departures"`
 	Drops         uint64  `json:"drops"`
@@ -44,6 +47,7 @@ func snapshotJSON(s Snapshot) metricsJSON {
 	for _, c := range s.Classes {
 		out.Classes = append(out.Classes, classMetricsJSON{
 			Class:         c.Class,
+			Name:          c.Name,
 			Arrivals:      c.Arrivals,
 			Departures:    c.Departures,
 			Drops:         c.Drops,
@@ -67,8 +71,12 @@ func Text(s Snapshot) string {
 	fmt.Fprintf(&b, "%-5s %10s %10s %8s %8s %12s %12s %12s %12s\n",
 		"class", "arrivals", "departs", "drops", "backlog", "mean", "p50", "p95", "p99")
 	for _, c := range s.Classes {
-		fmt.Fprintf(&b, "%-5d %10d %10d %8d %8d %12.6g %12.6g %12.6g %12.6g\n",
-			c.Class, c.Arrivals, c.Departures, c.Drops, c.Backlog(),
+		label := fmt.Sprintf("%d", c.Class)
+		if c.Name != "" {
+			label = fmt.Sprintf("%d=%s", c.Class, c.Name)
+		}
+		fmt.Fprintf(&b, "%-5s %10d %10d %8d %8d %12.6g %12.6g %12.6g %12.6g\n",
+			label, c.Arrivals, c.Departures, c.Drops, c.Backlog(),
 			c.Delay.Mean(), c.Delay.Quantile(0.50), c.Delay.Quantile(0.95), c.Delay.Quantile(0.99))
 	}
 	for i, ratio := range s.Ratios {

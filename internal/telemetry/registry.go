@@ -31,6 +31,7 @@ type ClassMetrics struct {
 // underflow to 0 rather than reporting a transient lie.
 type Registry struct {
 	classes []ClassMetrics
+	names   []string  // optional class labels, set via SetClassNames
 	target  []float64 // target adjacent ratio: delay(i)/delay(i+1) = SDP[i+1]/SDP[i]
 	started time.Time
 
@@ -67,6 +68,27 @@ func NewWithSDP(sdp []float64) *Registry {
 		}
 	}
 	return r
+}
+
+// SetClassNames labels the classes (typically from a traffic-class
+// config) so snapshots and the metrics endpoints identify them by name.
+// No-op on a nil registry; names must cover every class.
+func (r *Registry) SetClassNames(names []string) {
+	if r == nil {
+		return
+	}
+	if len(names) != len(r.classes) {
+		panic(fmt.Sprintf("telemetry: %d names for %d classes", len(names), len(r.classes)))
+	}
+	r.names = append([]string(nil), names...)
+}
+
+// ClassNames returns the configured class labels (nil when unlabeled).
+func (r *Registry) ClassNames() []string {
+	if r == nil {
+		return nil
+	}
+	return r.names
 }
 
 // NumClasses returns the class count (0 for a nil registry).
@@ -130,7 +152,11 @@ func (r *Registry) Drop(class int, now float64) {
 
 // ClassSnapshot is a point-in-time copy of one class's metrics.
 type ClassSnapshot struct {
-	Class         int          `json:"class"`
+	Class int `json:"class"`
+	// Name is the class's configured label; empty (and omitted from
+	// JSON) when the registry's classes are unnamed, so unlabeled
+	// deployments keep their exact historical metrics encoding.
+	Name          string       `json:"name,omitempty"`
 	Arrivals      uint64       `json:"arrivals"`
 	Departures    uint64       `json:"departures"`
 	Drops         uint64       `json:"drops"`
@@ -177,8 +203,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for i := range r.classes {
 		c := &r.classes[i]
+		name := ""
+		if i < len(r.names) {
+			name = r.names[i]
+		}
 		s.Classes[i] = ClassSnapshot{
 			Class:         i,
+			Name:          name,
 			Arrivals:      c.Arrivals.Load(),
 			Departures:    c.Departures.Load(),
 			Drops:         c.Drops.Load(),
