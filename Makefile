@@ -6,9 +6,9 @@ GO ?= go
 # lower-variance numbers (e.g. BENCHTIME=5s).
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance golden-update experiments experiments-quick fuzz fuzz-smoke soak stress stress-full clean
+.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance certify golden-update experiments experiments-quick fuzz fuzz-smoke soak stress stress-full clean
 
-all: build vet test race conformance fuzz-smoke soak stress
+all: build vet test race conformance certify fuzz-smoke soak stress
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,13 @@ experiments-quick:
 conformance:
 	$(GO) test -v -run 'TestConformance|TestGolden|TestHeapCalendar|TestBPRTracks' ./internal/conformance/
 
+# Analytic delay-bound certification (the third verification axis, see
+# TESTING.md): every seeded scenario's realized worst-case per-class
+# delay under DRR/WFQ/IWRR must stay below its network-calculus bound.
+# Verbose so the per-class bound/observed gaps are visible.
+certify:
+	$(GO) test -v -run 'TestAnalyticBounds|TestUnderstatedBurst' ./internal/conformance/
+
 # Regenerate the committed golden traces after an intentional behaviour
 # change. Review the diff before committing.
 golden-update:
@@ -78,6 +85,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTraceCSV -fuzztime 30s ./internal/traffic/
 	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
 	$(GO) test -fuzz FuzzClassConfig -fuzztime 30s ./internal/classify/
+	$(GO) test -fuzz FuzzCurveOps -fuzztime 30s ./internal/netcalc/
 
 # Short fuzzing passes over the scheduler data structures: the fifo ring,
 # the WTP selection scan, and the calendar queue vs the binary heap.
@@ -87,6 +95,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
 	$(GO) test -fuzz FuzzTraceCSV -fuzztime 10s ./internal/traffic/
 	$(GO) test -fuzz FuzzClassConfig -fuzztime 10s ./internal/classify/
+	$(GO) test -fuzz FuzzCurveOps -fuzztime 10s ./internal/netcalc/
 
 # Short loopback soak: saturate a live forwarder via cmd/pdload and fail
 # unless the achieved egress rate is within ±2% of the configured rate

@@ -1,0 +1,260 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pdds/internal/core"
+	"pdds/internal/netcalc"
+)
+
+// This file is the third verification axis: analytic delay-bound
+// certification. The structural observers check what a scheduler did on
+// one run; the golden traces pin that it keeps doing exactly that; the
+// bounds oracle asserts the run stayed inside what network calculus
+// says the discipline could ever do. It applies to the round-robin
+// capacity-differentiation family (DRR, WFQ/SCFQ, IWRR), whose strict
+// service curves are known in closed form (internal/netcalc).
+//
+// Per class the oracle needs an arrival curve and a service curve. The
+// seeded scenarios use Pareto/Poisson sources whose spec fixes the
+// long-run rate but bounds no finite burst, so the arrival envelope is
+// the tightest token bucket over the *realized* arrival trace
+// (netcalc.BucketBurst), swept over candidate rates around the spec
+// rate (netcalc.BestBucketBound). The service curve is the maximum of
+// the discipline's own strict service curve and the scheduler-agnostic
+// blind-multiplexing residual fed with the measured cross-class
+// envelopes — both are strict service curves for the class, so their
+// maximum is too. The horizontal deviation of the pair then bounds
+// every packet's sojourn (queueing wait plus transmission), which is
+// exactly what DelayRecorder measures.
+
+// ClassBound is the certification outcome for one class of one run.
+type ClassBound struct {
+	Class    int
+	Bound    float64 // analytic worst-case sojourn (+Inf = no guarantee)
+	Observed float64 // realized worst-case sojourn
+	Packets  uint64  // packets the class got served
+}
+
+// Gap returns the slack Bound − Observed; negative means the run
+// violated the analytic bound (a scheduler or analysis bug).
+func (cb ClassBound) Gap() float64 { return cb.Bound - cb.Observed }
+
+// Ok reports whether the observation respects the bound.
+func (cb ClassBound) Ok() bool { return cb.Observed <= cb.Bound }
+
+// BoundReport collects the per-class certification of one run.
+type BoundReport struct {
+	Scheduler string
+	Scenario  string
+	Classes   []ClassBound
+}
+
+// Ok reports whether every class respected its analytic bound.
+func (r *BoundReport) Ok() bool {
+	for _, cb := range r.Classes {
+		if !cb.Ok() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders one line per class: bound, observation, gap.
+func (r *BoundReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s analytic delay bounds:\n", r.Scheduler, r.Scenario)
+	for _, cb := range r.Classes {
+		status := "ok"
+		if !cb.Ok() {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  class %d: bound=%8.1f observed=%8.1f gap=%8.1f pkts=%-6d %s\n",
+			cb.Class, cb.Bound, cb.Observed, cb.Gap(), cb.Packets, status)
+	}
+	return b.String()
+}
+
+// DelayRecorder is an Observer that collects, per class, the arrival
+// trace (for envelope fitting) and the worst realized sojourn time —
+// queueing wait plus transmission time, i.e. arrival to departure,
+// matching what a network-calculus virtual-delay bound limits.
+type DelayRecorder struct {
+	rate     float64
+	arrivals [][]netcalc.ArrivalEvent
+	worst    []float64
+	counts   []uint64
+	minSize  []float64
+	maxSize  []float64
+}
+
+// NewDelayRecorder returns a recorder for n classes on a link of the
+// given rate (bytes per time unit).
+func NewDelayRecorder(n int, rate float64) *DelayRecorder {
+	r := &DelayRecorder{
+		rate:     rate,
+		arrivals: make([][]netcalc.ArrivalEvent, n),
+		worst:    make([]float64, n),
+		counts:   make([]uint64, n),
+		minSize:  make([]float64, n),
+		maxSize:  make([]float64, n),
+	}
+	for i := range r.minSize {
+		r.minSize[i] = math.Inf(1)
+	}
+	return r
+}
+
+// Name implements Observer.
+func (r *DelayRecorder) Name() string { return "delay-recorder" }
+
+// OnEnqueue implements Observer.
+func (r *DelayRecorder) OnEnqueue(now float64, p *core.Packet, st *State) {
+	size := float64(p.Size)
+	r.arrivals[p.Class] = append(r.arrivals[p.Class], netcalc.ArrivalEvent{Time: now, Bytes: size})
+	if size < r.minSize[p.Class] {
+		r.minSize[p.Class] = size
+	}
+	if size > r.maxSize[p.Class] {
+		r.maxSize[p.Class] = size
+	}
+}
+
+// OnDequeue implements Observer.
+func (r *DelayRecorder) OnDequeue(now float64, p *core.Packet, st *State) {
+	if sojourn := (now - p.Arrival) + float64(p.Size)/r.rate; sojourn > r.worst[p.Class] {
+		r.worst[p.Class] = sojourn
+	}
+	r.counts[p.Class]++
+}
+
+// Done implements Observer.
+func (r *DelayRecorder) Done(st *State) {}
+
+// Violations implements Observer; the recorder only measures, the bound
+// check happens in Report.
+func (r *DelayRecorder) Violations() []Violation { return nil }
+
+// WorstSojourn returns the largest observed sojourn of class i.
+func (r *DelayRecorder) WorstSojourn(i int) float64 { return r.worst[i] }
+
+// Arrivals returns the recorded arrival trace of class i.
+func (r *DelayRecorder) Arrivals(i int) []netcalc.ArrivalEvent { return r.arrivals[i] }
+
+// packetSizes returns safe per-class minimum and maximum packet sizes:
+// measured where the class sent traffic, worst-case defaults (tiny own
+// packets, full-MTU competitors) where it did not, so the service
+// curves stay conservative for silent classes.
+func (r *DelayRecorder) packetSizes() (lmin, lmax []float64) {
+	const mtu = 1500
+	lmin = make([]float64, len(r.minSize))
+	lmax = make([]float64, len(r.maxSize))
+	for i := range lmin {
+		lmin[i], lmax[i] = r.minSize[i], r.maxSize[i]
+		if math.IsInf(lmin[i], 1) {
+			lmin[i], lmax[i] = 1, mtu
+		}
+	}
+	return lmin, lmax
+}
+
+// ServiceCurve returns the strict per-class service curve of the given
+// round-robin discipline, mirroring exactly how core.New derives its
+// parameters from the SDPs (DRR quanta: baseQuantum·w_i/w_0; WFQ: SCFQ
+// with the SDPs as weights; IWRR: core.IntWeights). Kinds outside the
+// capacity-differentiation family have no closed-form strict service
+// curve here and return an error.
+func ServiceCurve(kind core.Kind, sdp []float64, rate float64, lmin, lmax []float64, class int) (netcalc.Curve, error) {
+	switch kind {
+	case core.KindDRR:
+		quanta := make([]float64, len(sdp))
+		for i, w := range sdp {
+			quanta[i] = 1500 * w / sdp[0] // keep in lockstep with core.NewDRR
+		}
+		return netcalc.DRRService(rate, quanta, lmax, class), nil
+	case core.KindWFQ:
+		return netcalc.SCFQService(rate, sdp, lmax, class), nil
+	case core.KindIWRR:
+		return netcalc.IWRRService(rate, core.IntWeights(sdp), lmin, lmax, class, 2), nil
+	default:
+		return netcalc.Curve{}, fmt.Errorf("conformance: no service curve for scheduler %q", kind)
+	}
+}
+
+// Report computes the per-class analytic bounds for a finished run and
+// compares them with the observations. The service curve for each class
+// is Max(discipline curve, blind-multiplexing residual); the arrival
+// envelope is the best measured token bucket against that curve.
+func (r *DelayRecorder) Report(kind core.Kind, sdp []float64, scenario string) (*BoundReport, error) {
+	n := len(r.arrivals)
+	lmin, lmax := r.packetSizes()
+	rep := &BoundReport{Scheduler: string(kind), Scenario: scenario}
+	for i := 0; i < n; i++ {
+		family, err := ServiceCurve(kind, sdp, r.rate, lmin, lmax, i)
+		if err != nil {
+			return nil, err
+		}
+		beta := netcalc.Max(family, r.residual(i))
+		bound, _ := netcalc.BestBucketBound(r.arrivals[i], beta)
+		rep.Classes = append(rep.Classes, ClassBound{
+			Class:    i,
+			Bound:    bound,
+			Observed: r.worst[i],
+			Packets:  r.counts[i],
+		})
+	}
+	return rep, nil
+}
+
+// residual builds the scheduler-agnostic residual service curve for
+// class i: link rate minus the measured envelopes of every other class.
+// It holds for any work-conserving discipline, so it can only tighten
+// the family-specific curve (often decisively, when the cross load is
+// modest).
+func (r *DelayRecorder) residual(i int) netcalc.Curve {
+	cross := make([]netcalc.Curve, 0, len(r.arrivals)-1)
+	for j, events := range r.arrivals {
+		if j == i {
+			continue
+		}
+		cross = append(cross, measuredEnvelope(events))
+	}
+	return netcalc.Residual(r.rate, cross...)
+}
+
+// measuredEnvelope fits a token bucket to a class's realized arrivals
+// at their long-run average rate — the rate that keeps the burst term
+// finite and small for well-behaved sources.
+func measuredEnvelope(events []netcalc.ArrivalEvent) netcalc.Curve {
+	if len(events) == 0 {
+		return netcalc.Zero()
+	}
+	var total float64
+	for _, e := range events {
+		total += e.Bytes
+	}
+	rate := 0.0
+	if span := events[len(events)-1].Time - events[0].Time; span > 0 {
+		rate = total / span
+	}
+	return netcalc.TokenBucket(netcalc.BucketBurst(events, rate), rate)
+}
+
+// Certify runs the scheduler through the scenario with a DelayRecorder
+// attached and returns both the structural-invariant result and the
+// analytic bound report. It is the entry point used by the certify test
+// and the `make certify` target.
+func Certify(kind core.Kind, sc Scenario) (*Result, *BoundReport, error) {
+	rec := NewDelayRecorder(len(sc.SDP), sc.linkRate())
+	res, err := Run(kind, sc, Opts{Observers: []Observer{rec}})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := rec.Report(kind, sc.SDP, sc.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}

@@ -1,0 +1,147 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/link"
+	"pdds/internal/netcalc"
+)
+
+// boundedKinds is the capacity-differentiation family with closed-form
+// strict service curves — the schedulers the analytic axis certifies.
+var boundedKinds = []core.Kind{core.KindDRR, core.KindWFQ, core.KindIWRR}
+
+// TestAnalyticBounds is the third conformance axis: on every seeded
+// scenario, each round-robin scheduler's realized worst-case per-class
+// sojourn must stay below the network-calculus bound computed from the
+// measured arrival envelopes and the discipline's strict service curve.
+// The bound/observed gap is logged per class so tightness regressions
+// are visible in -v output even while the assertion holds.
+func TestAnalyticBounds(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, kind := range boundedKinds {
+			t.Run(sc.Name+"/"+string(kind), func(t *testing.T) {
+				res, rep, err := Certify(kind, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("structural: %s", v)
+				}
+				t.Logf("\n%s", rep.Summary())
+				for _, cb := range rep.Classes {
+					if math.IsNaN(cb.Bound) {
+						t.Errorf("class %d: NaN bound", cb.Class)
+					}
+					if !cb.Ok() {
+						t.Errorf("class %d: observed worst sojourn %.2f exceeds analytic bound %.2f",
+							cb.Class, cb.Observed, cb.Bound)
+					}
+					if cb.Packets > 0 && cb.Observed <= 0 {
+						t.Errorf("class %d: served %d packets but observed sojourn %g",
+							cb.Class, cb.Packets, cb.Observed)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAnalyticBoundsFinite pins that the oracle is not vacuous: on the
+// stable scenarios every class must receive a finite bound (the rate-0
+// pure-burst envelope guarantees one whenever the service curve rises).
+func TestAnalyticBoundsFinite(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, kind := range boundedKinds {
+			_, rep, err := Certify(kind, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cb := range rep.Classes {
+				if cb.Packets > 0 && math.IsInf(cb.Bound, 1) {
+					t.Errorf("%s/%s class %d: infinite bound despite %d served packets",
+						kind, sc.Name, cb.Class, cb.Packets)
+				}
+			}
+		}
+	}
+}
+
+// TestUnderstatedBurstFailsCheck demonstrates the oracle has teeth: an
+// arrival envelope that understates the real burstiness (a near-empty
+// token bucket for the heavily loaded class 0) yields a bound the run
+// demonstrably violates, so a wrong analysis cannot slip through as a
+// vacuously green check.
+func TestUnderstatedBurstFailsCheck(t *testing.T) {
+	sc := Scenarios()[0] // heavy-pareto, class 0 carries 40% of the load
+	rec := NewDelayRecorder(len(sc.SDP), link.PaperLinkRate)
+	res, err := Run(core.KindDRR, sc, Opts{Observers: []Observer{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("structural violations: %v", res.Violations)
+	}
+	lmin := []float64{40, 40, 40, 40}
+	lmax := []float64{1500, 1500, 1500, 1500}
+	family, err := ServiceCurve(core.KindDRR, sc.SDP, link.PaperLinkRate, lmin, lmax, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim class 0 sends a single minimum packet per long while — a
+	// gross understatement of the real Pareto load.
+	understated := netcalc.TokenBucket(40, 0.001)
+	bound := netcalc.HorizontalDeviation(understated, family)
+	cb := ClassBound{Class: 0, Bound: bound, Observed: rec.WorstSojourn(0), Packets: 1}
+	if cb.Ok() {
+		t.Fatalf("understated burst still passed: bound %.2f >= observed %.2f "+
+			"(the oracle would miss a wrong envelope)", bound, cb.Observed)
+	}
+	if cb.Gap() >= 0 {
+		t.Fatalf("gap %.2f not negative for a violated bound", cb.Gap())
+	}
+}
+
+// TestServiceCurveRejectsUnknownKind keeps the analytic axis honest
+// about its scope: disciplines without a closed-form strict service
+// curve must error, not return a fabricated guarantee.
+func TestServiceCurveRejectsUnknownKind(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindWTP, core.KindBPR, core.KindFCFS} {
+		if _, err := ServiceCurve(kind, []float64{1, 2}, 10, []float64{40, 40}, []float64{1500, 1500}, 0); err == nil {
+			t.Errorf("ServiceCurve(%s) returned a curve for an unsupported discipline", kind)
+		}
+	}
+}
+
+// TestDelayRecorderObserverContract exercises the recorder hooks
+// directly: arrival traces accumulate per class, sojourns track the
+// worst case, and silent classes report conservative packet sizes.
+func TestDelayRecorderObserverContract(t *testing.T) {
+	rec := NewDelayRecorder(2, 10)
+	st := newState(2)
+	p1 := &core.Packet{ID: 1, Class: 0, Size: 100, Arrival: 0}
+	p2 := &core.Packet{ID: 2, Class: 0, Size: 200, Arrival: 1}
+	rec.OnEnqueue(0, p1, st)
+	rec.OnEnqueue(1, p2, st)
+	rec.OnDequeue(5, p1, st)  // sojourn 5 + 100/10 = 15
+	rec.OnDequeue(20, p2, st) // sojourn 19 + 200/10 = 39
+	rec.Done(st)
+	if got := rec.WorstSojourn(0); got != 39 {
+		t.Errorf("worst sojourn %g, want 39", got)
+	}
+	if got := len(rec.Arrivals(0)); got != 2 {
+		t.Errorf("%d recorded arrivals, want 2", got)
+	}
+	if rec.Violations() != nil {
+		t.Error("pure recorder reported violations")
+	}
+	lmin, lmax := rec.packetSizes()
+	if lmin[0] != 100 || lmax[0] != 200 {
+		t.Errorf("measured sizes (%g, %g), want (100, 200)", lmin[0], lmax[0])
+	}
+	if lmin[1] != 1 || lmax[1] != 1500 {
+		t.Errorf("silent-class defaults (%g, %g), want (1, 1500)", lmin[1], lmax[1])
+	}
+}

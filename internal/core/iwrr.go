@@ -1,0 +1,111 @@
+package core
+
+import "math"
+
+// IWRR is Interleaved Weighted Round Robin: each round consists of
+// w_max cycles, and in cycle k every backlogged class whose weight
+// exceeds k sends exactly one packet, in class order. Interleaving the
+// per-class opportunities across the round (rather than granting each
+// class its whole weight in one visit, as WRR does) shortens the
+// worst-case gap between consecutive opportunities of a class, which is
+// what gives IWRR the tighter network-calculus service curves analyzed
+// by Tabatabaee, Le Boudec and Boyer ("Interleaved Weighted Round-Robin:
+// A Network Calculus Analysis"). Like DRR and WFQ it realizes §2.1's
+// *capacity differentiation*: bandwidth shares follow the weights while
+// the delay ratios drift with the class loads. It is the third member of
+// the round-robin family, and the one internal/netcalc certifies with a
+// staircase (rather than plain rate-latency) strict service curve.
+type IWRR struct {
+	classQueues
+	weight []int // integer per-class weights, all >= 1
+	wmax   int
+	// (cycle, next) is the scan position of the interleaved schedule:
+	// the next service opportunity considered is class `next` in cycle
+	// `cycle` of the current round. The position only advances when
+	// Dequeue scans past it, so the round structure is preserved across
+	// idle periods exactly as a hardware scheduler's would be.
+	cycle int
+	next  int
+}
+
+// NewIWRR returns an interleaved weighted-round-robin scheduler. The
+// per-class weights are the SDPs normalized by the smallest one and
+// rounded to integers (floored at 1); the paper's geometric SDPs
+// {1, 2, 4, 8} map to themselves.
+func NewIWRR(weights []float64) *IWRR {
+	ValidateSDPs(weights)
+	s := &IWRR{
+		classQueues: newClassQueues(len(weights)),
+		weight:      IntWeights(weights),
+	}
+	for _, w := range s.weight {
+		if w > s.wmax {
+			s.wmax = w
+		}
+	}
+	return s
+}
+
+// IntWeights converts SDP-style float weights to the integer weights
+// IWRR rounds on: each weight is divided by the smallest and rounded,
+// with a floor of 1 so every class keeps at least one opportunity per
+// round.
+func IntWeights(weights []float64) []int {
+	min := weights[0]
+	for _, w := range weights {
+		if w < min {
+			min = w
+		}
+	}
+	out := make([]int, len(weights))
+	for i, w := range weights {
+		out[i] = int(math.Round(w / min))
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Name implements Scheduler.
+func (s *IWRR) Name() string { return "IWRR" }
+
+// Weights returns the integer per-class weights (for the netcalc service
+// curves, which must describe the scheduler actually running).
+func (s *IWRR) Weights() []int { return s.weight }
+
+// Enqueue implements Scheduler.
+func (s *IWRR) Enqueue(p *Packet, now float64) { s.push(p) }
+
+// Dequeue implements Scheduler. It scans the interleaved schedule from
+// the current position: class `next` in cycle `cycle`, then the
+// remaining classes of the cycle, then the following cycles, wrapping to
+// cycle 0 after cycle wmax-1. A class is eligible in cycle k iff its
+// weight exceeds k and it is backlogged. Any backlogged class is
+// eligible in cycle 0, so a full wrap always finds a packet.
+func (s *IWRR) Dequeue(now float64) *Packet {
+	if s.total == 0 {
+		return nil
+	}
+	n := len(s.q)
+	for iter := 0; iter <= n*s.wmax; iter++ {
+		if s.next >= n {
+			s.next = 0
+			if s.cycle++; s.cycle >= s.wmax {
+				s.cycle = 0
+			}
+		}
+		class := s.next
+		s.next++
+		if s.weight[class] > s.cycle && !s.q[class].Empty() {
+			return s.pop(class)
+		}
+	}
+	// Unreachable while total > 0; keep the scheduler safe regardless.
+	for i := range s.q {
+		if !s.q[i].Empty() {
+			return s.pop(i)
+		}
+	}
+	return nil
+}

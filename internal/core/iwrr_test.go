@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIntWeights(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want []int
+	}{
+		{[]float64{1, 2, 4, 8}, []int{1, 2, 4, 8}},
+		{[]float64{2, 4}, []int{1, 2}},
+		{[]float64{1, 2.4, 2.6}, []int{1, 2, 3}},
+		{[]float64{5}, []int{1}},
+		{[]float64{1, 1.2}, []int{1, 1}}, // rounds down, floored at 1
+	} {
+		if got := IntWeights(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("IntWeights(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestIWRRInterleavedOrder pins the defining schedule: with weights
+// {1, 2, 3} and all classes continuously backlogged, one round is
+// cycle 0: 0,1,2 — cycle 1: 1,2 — cycle 2: 2.
+func TestIWRRInterleavedOrder(t *testing.T) {
+	s := NewIWRR([]float64{1, 2, 3})
+	var id uint64
+	for i := 0; i < 12; i++ {
+		for c := 0; c < 3; c++ {
+			id++
+			s.Enqueue(mkPkt(id, c, 100, 0), 0)
+		}
+	}
+	wantRound := []int{0, 1, 2, 1, 2, 2}
+	for r := 0; r < 4; r++ {
+		for i, want := range wantRound {
+			if got := s.Dequeue(1).Class; got != want {
+				t.Fatalf("round %d position %d: served class %d, want %d", r, i, got, want)
+			}
+		}
+	}
+}
+
+// TestIWRRSkipsEmptyClasses verifies work conservation when only a
+// low-weight class is backlogged: the scan must wrap through the empty
+// high-weight cycles and still serve it on every dequeue.
+func TestIWRRSkipsEmptyClasses(t *testing.T) {
+	s := NewIWRR([]float64{1, 8})
+	for i := uint64(1); i <= 5; i++ {
+		s.Enqueue(mkPkt(i, 0, 100, 0), 0)
+	}
+	// Burn the scan position into a high cycle first.
+	s.Enqueue(mkPkt(100, 1, 100, 0), 0)
+	if got := s.Dequeue(0).Class; got != 0 {
+		t.Fatalf("first dequeue class %d, want 0", got)
+	}
+	for s.Backlogged() {
+		if s.Dequeue(1) == nil {
+			t.Fatal("nil dequeue with backlog")
+		}
+	}
+	if s.Dequeue(2) != nil {
+		t.Fatal("dequeue from empty returned a packet")
+	}
+}
+
+// TestIWRRBandwidthShares checks the long-run service split follows the
+// weights when every class stays backlogged with equal packet sizes.
+func TestIWRRBandwidthShares(t *testing.T) {
+	s := NewIWRR([]float64{1, 2, 4, 8})
+	var id uint64
+	for i := 0; i < 600; i++ {
+		for c := 0; c < 4; c++ {
+			id++
+			s.Enqueue(mkPkt(id, c, 100, 0), 0)
+		}
+	}
+	counts := [4]int{}
+	for i := 0; i < 600; i++ {
+		counts[s.Dequeue(float64(i)).Class]++
+	}
+	// 600 services = 40 rounds of 15 opportunities: exactly w_i*40 each.
+	for c, w := range []int{1, 2, 4, 8} {
+		if counts[c] != w*40 {
+			t.Errorf("class %d served %d times, want %d (weights %v, counts %v)",
+				c, counts[c], w*40, s.Weights(), counts)
+		}
+	}
+}
+
+// TestIWRRPositionPersistsAcrossIdle pins that the scan position is kept
+// across an idle period rather than reset, matching the round structure
+// the netcalc service curve models.
+func TestIWRRPositionPersistsAcrossIdle(t *testing.T) {
+	s := NewIWRR([]float64{1, 2})
+	// Round: cycle0: 0,1; cycle1: 1. Serve "0,1" then drain.
+	s.Enqueue(mkPkt(1, 0, 100, 0), 0)
+	s.Enqueue(mkPkt(2, 1, 100, 0), 0)
+	if s.Dequeue(1).Class != 0 || s.Dequeue(1).Class != 1 {
+		t.Fatal("unexpected first cycle order")
+	}
+	// Idle. New backlog in both classes: next opportunity is cycle 1,
+	// which belongs to class 1.
+	s.Enqueue(mkPkt(3, 0, 100, 2), 2)
+	s.Enqueue(mkPkt(4, 1, 100, 2), 2)
+	if got := s.Dequeue(3).Class; got != 1 {
+		t.Fatalf("after idle, served class %d, want 1 (cycle-1 slot)", got)
+	}
+	if got := s.Dequeue(3).Class; got != 0 {
+		t.Fatalf("wrap to cycle 0 served class %d, want 0", got)
+	}
+}

@@ -41,11 +41,12 @@ const (
 	KindPAD      Kind = "pad"      // proportional average delay (§7 follow-up)
 	KindHPD      Kind = "hpd"      // hybrid WTP/PAD (§7 follow-up)
 	KindDRR      Kind = "drr"      // deficit round robin (capacity differentiation)
+	KindIWRR     Kind = "iwrr"     // interleaved weighted round robin (capacity differentiation)
 )
 
 // Kinds lists every supported scheduler kind.
 func Kinds() []Kind {
-	return []Kind{KindWTP, KindBPR, KindFCFS, KindStrict, KindWFQ, KindAdditive, KindPAD, KindHPD, KindDRR}
+	return []Kind{KindWTP, KindBPR, KindFCFS, KindStrict, KindWFQ, KindAdditive, KindPAD, KindHPD, KindDRR, KindIWRR}
 }
 
 // New constructs a scheduler of the given kind for len(sdp) classes.
@@ -75,6 +76,8 @@ func New(kind Kind, sdp []float64, rate float64) (Scheduler, error) {
 		return NewHPD(sdp, DefaultHPDG), nil
 	case KindDRR:
 		return NewDRR(sdp), nil
+	case KindIWRR:
+		return NewIWRR(sdp), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheduler kind %q", kind)
 	}

@@ -1,0 +1,95 @@
+package netcalc
+
+import "math"
+
+// ArrivalEvent is one packet arrival observed on a class: Time is the
+// arrival instant and Bytes the packet size.
+type ArrivalEvent struct {
+	Time  float64
+	Bytes float64
+}
+
+// BucketBurst returns the smallest burst b such that the token bucket
+// (b, rate) upper-bounds the observed arrivals: for every window
+// (s, t], cumBytes(t) − cumBytes(s) <= b + rate·(t−s). Computed in one
+// pass as max_k [P_k − rate·t_k − min_{j<=k} (P_{j−1} − rate·t_j)],
+// where P_k is the cumulative byte count including packet k: the
+// tightest window ending at k opens just before the arrival j that
+// minimizes the shifted prefix. An empty trace needs no burst.
+//
+// The arrival instant itself is included in the window (a packet's
+// whole size counts as instantaneous), matching the α(0)=b token-bucket
+// convention used by TokenBucket.
+func BucketBurst(events []ArrivalEvent, rate float64) float64 {
+	var burst, cum float64
+	minOpen := math.Inf(1) // min over j of P_{j-1} − rate·t_j
+	for _, e := range events {
+		if open := cum - rate*e.Time; open < minOpen {
+			minOpen = open
+		}
+		cum += e.Bytes
+		if b := cum - rate*e.Time - minOpen; b > burst {
+			burst = b
+		}
+	}
+	return burst
+}
+
+// BestBucketBound sweeps candidate token-bucket rates for the observed
+// arrivals, computes the delay bound against the service curve for each
+// valid envelope, and returns the smallest bound together with the
+// envelope that achieved it. Every (rate, BucketBurst(rate)) pair is a
+// valid arrival curve for the trace, so the minimum over the sweep is a
+// valid bound; sweeping matters because a low rate shrinks the envelope
+// tail while inflating the burst, and vice versa.
+//
+// The sweep covers rate 0 (pure burst: total bytes as an envelope,
+// which always yields a finite bound against any nonzero service
+// curve), the long-run average rate of the trace, and geometric steps
+// between the average and the service curve's tail rate. Returns
+// (+Inf, Zero) when events is empty-bounded by nothing — an empty
+// trace yields bound 0.
+func BestBucketBound(events []ArrivalEvent, service Curve) (bound float64, envelope Curve) {
+	if len(events) == 0 {
+		return 0, Zero()
+	}
+	var total float64
+	for _, e := range events {
+		total += e.Bytes
+	}
+	span := events[len(events)-1].Time - events[0].Time
+	avg := 0.0
+	if span > 0 {
+		avg = total / span
+	}
+
+	cands := []float64{0, avg}
+	// Geometric interpolation between the average arrival rate and the
+	// service tail rate: these are the regimes where the h(α,β) optimum
+	// moves. Endpoints slightly inside avoid degenerate equal-rate fits.
+	if service.Rate > 0 && service.Rate != avg {
+		lo, hi := avg, service.Rate
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo <= 0 {
+			lo = hi / 64
+		}
+		const steps = 12
+		for s := 0; s <= steps; s++ {
+			cands = append(cands, lo*math.Pow(hi/lo, float64(s)/steps))
+		}
+	}
+
+	bound, envelope = math.Inf(1), Zero()
+	for _, r := range cands {
+		if r < 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			continue
+		}
+		env := TokenBucket(BucketBurst(events, r), r)
+		if d := HorizontalDeviation(env, service); d < bound {
+			bound, envelope = d, env
+		}
+	}
+	return bound, envelope
+}

@@ -1,0 +1,561 @@
+// Package netcalc computes analytic worst-case delay bounds for the
+// round-robin scheduler family (DRR, WFQ/SCFQ, IWRR) using network
+// calculus: token-bucket arrival curves, rate-latency and staircase
+// service curves, and the min-plus operations (convolution,
+// deconvolution, horizontal deviation) that turn the two into a
+// certified per-class delay bound.
+//
+// The package is the repo's third verification axis (after the exact
+// brute-force oracles and the committed golden traces, see
+// internal/conformance): instead of checking what a scheduler *did*, it
+// bounds what the scheduler could ever do, so a conformance scenario's
+// simulated worst-case delay can be asserted against a guarantee rather
+// than a observation. The service curves follow the network-calculus
+// analyses referenced in PAPERS.md — Tabatabaee/Le Boudec/Boyer's
+// staircase strict service curve for IWRR, the classic deficit-bounded
+// derivation for DRR, and the latency-rate characterization of SCFQ —
+// with every latency term taken conservatively (see DESIGN.md §3g for
+// the exact forms and their tightness caveats).
+//
+// All curves are wide-sense-increasing continuous piecewise-linear
+// functions f: [0,∞) → [0,∞) represented by finitely many breakpoints
+// plus a final slope, which is closed under every operation used here.
+package netcalc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Curve is a wide-sense-increasing, continuous, piecewise-linear
+// function on [0, ∞): the graph passes through the breakpoints
+// (X[i], Y[i]) with linear interpolation in between, and continues with
+// slope Rate after the last breakpoint. Invariants (checked by Check):
+// X[0] == 0, X strictly increasing, Y nondecreasing, Rate >= 0, and no
+// NaN/Inf anywhere.
+//
+// Arrival curves bound traffic (α(t) >= bytes arriving in any window of
+// length t); service curves bound service (β(t) <= bytes served in any
+// backlogged window of length t). Both use bytes on the y-axis and
+// simulation time units on the x-axis.
+type Curve struct {
+	X, Y []float64
+	Rate float64
+}
+
+// Zero returns the identically-zero curve (no guaranteed service, or an
+// empty flow).
+func Zero() Curve { return Curve{X: []float64{0}, Y: []float64{0}} }
+
+// TokenBucket returns the arrival curve α(t) = burst + rate·t (the
+// leaky-bucket envelope σ+ρt, with the standard convention α(0) =
+// burst). A zero burst and rate yields the zero curve.
+func TokenBucket(burst, rate float64) Curve {
+	if burst < 0 || rate < 0 || math.IsNaN(burst) || math.IsNaN(rate) ||
+		math.IsInf(burst, 0) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("netcalc: invalid token bucket (burst=%g, rate=%g)", burst, rate))
+	}
+	return Curve{X: []float64{0}, Y: []float64{burst}, Rate: rate}
+}
+
+// RateLatency returns the service curve β(t) = rate·max(0, t−latency).
+func RateLatency(rate, latency float64) Curve {
+	if rate < 0 || latency < 0 || math.IsNaN(rate) || math.IsNaN(latency) ||
+		math.IsInf(rate, 0) || math.IsInf(latency, 0) {
+		panic(fmt.Sprintf("netcalc: invalid rate-latency (rate=%g, latency=%g)", rate, latency))
+	}
+	if latency == 0 {
+		return Curve{X: []float64{0}, Y: []float64{0}, Rate: rate}
+	}
+	return Curve{X: []float64{0, latency}, Y: []float64{0, 0}, Rate: rate}
+}
+
+// Check verifies the representation invariants, returning a descriptive
+// error on the first breach. Every constructor and operation in this
+// package maintains them; the fuzz target asserts they survive
+// arbitrary compositions.
+func (c Curve) Check() error {
+	if len(c.X) == 0 || len(c.X) != len(c.Y) {
+		return fmt.Errorf("netcalc: %d X vs %d Y breakpoints", len(c.X), len(c.Y))
+	}
+	if c.X[0] != 0 {
+		return fmt.Errorf("netcalc: first breakpoint at x=%g, want 0", c.X[0])
+	}
+	if math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) || c.Rate < 0 {
+		return fmt.Errorf("netcalc: final rate %g", c.Rate)
+	}
+	for i := range c.X {
+		if math.IsNaN(c.X[i]) || math.IsInf(c.X[i], 0) || math.IsNaN(c.Y[i]) || math.IsInf(c.Y[i], 0) {
+			return fmt.Errorf("netcalc: non-finite breakpoint (%g, %g)", c.X[i], c.Y[i])
+		}
+		if c.Y[i] < 0 {
+			return fmt.Errorf("netcalc: negative value %g at x=%g", c.Y[i], c.X[i])
+		}
+		if i > 0 {
+			if c.X[i] <= c.X[i-1] {
+				return fmt.Errorf("netcalc: breakpoints not strictly increasing at x=%g", c.X[i])
+			}
+			if c.Y[i] < c.Y[i-1] {
+				return fmt.Errorf("netcalc: decreasing value %g after %g", c.Y[i], c.Y[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+// Value evaluates the curve at t (t < 0 evaluates as t = 0).
+func (c Curve) Value(t float64) float64 {
+	if t <= 0 {
+		return c.Y[0]
+	}
+	n := len(c.X)
+	last := n - 1
+	if t >= c.X[last] {
+		return c.Y[last] + c.Rate*(t-c.X[last])
+	}
+	// Binary search: largest i with X[i] <= t.
+	i := sort.SearchFloat64s(c.X, t)
+	if i < n && c.X[i] == t {
+		return c.Y[i]
+	}
+	i-- // X[i] < t < X[i+1]
+	slope := (c.Y[i+1] - c.Y[i]) / (c.X[i+1] - c.X[i])
+	return c.Y[i] + slope*(t-c.X[i])
+}
+
+// Inverse returns inf{x >= 0 : c(x) >= y}, or +Inf if the curve never
+// reaches y.
+func (c Curve) Inverse(y float64) float64 {
+	if y <= c.Y[0] {
+		return 0
+	}
+	n := len(c.X)
+	last := n - 1
+	if y > c.Y[last] {
+		if c.Rate <= 0 {
+			return math.Inf(1)
+		}
+		return c.X[last] + (y-c.Y[last])/c.Rate
+	}
+	// Binary search: first i with Y[i] >= y. Flat stretches make Y
+	// nondecreasing but not strictly, so take the first index.
+	i := sort.Search(n, func(i int) bool { return c.Y[i] >= y })
+	if c.Y[i] == y {
+		// Walk back over an exactly-flat stretch to the infimum.
+		for i > 0 && c.Y[i-1] == y {
+			i--
+		}
+		return c.X[i]
+	}
+	// Y[i-1] < y < Y[i]: the connecting segment has positive slope.
+	slope := (c.Y[i] - c.Y[i-1]) / (c.X[i] - c.X[i-1])
+	return c.X[i-1] + (y-c.Y[i-1])/slope
+}
+
+// rebuild assembles a curve from candidate breakpoint abscissae and an
+// evaluator, dropping duplicates and collinear interior points. Between
+// adjacent candidates the true function may still kink (min/max of
+// linear branches crossing), so each gap is bisected until the chord
+// matches the evaluator; for the piecewise-concave (convolution) and
+// piecewise-convex (deconvolution) gaps that arise here, a midpoint on
+// the chord certifies the whole gap is linear.
+func rebuild(xs []float64, rate float64, eval func(float64) float64) Curve {
+	sort.Float64s(xs)
+	out := Curve{Rate: rate}
+	const eps = 1e-12
+	var fill func(a, va, b, vb float64, depth int)
+	fill = func(a, va, b, vb float64, depth int) {
+		if depth == 0 || b-a <= 1e-9*(1+math.Abs(b)) {
+			return
+		}
+		m := (a + b) / 2
+		vm := eval(m)
+		chord := va + (vb-va)*(m-a)/(b-a)
+		if math.Abs(vm-chord) <= 1e-12*(1+math.Abs(vm)) {
+			return
+		}
+		fill(a, va, m, vm, depth-1)
+		out.X = append(out.X, m)
+		out.Y = append(out.Y, vm)
+		fill(m, vm, b, vb, depth-1)
+	}
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		n := len(out.X)
+		if n > 0 && x <= out.X[n-1]+eps*(1+math.Abs(out.X[n-1])) {
+			continue
+		}
+		y := eval(x)
+		if n > 0 {
+			fill(out.X[n-1], out.Y[n-1], x, y, 40)
+		}
+		out.X = append(out.X, x)
+		out.Y = append(out.Y, y)
+	}
+	if len(out.X) == 0 || out.X[0] != 0 {
+		out.X = append([]float64{0}, out.X...)
+		out.Y = append([]float64{eval(0)}, out.Y...)
+	}
+	// Clamp sub-epsilon rounding dips so the representation invariant
+	// (Y nondecreasing) survives exact-in-math evaluations.
+	for i := 1; i < len(out.Y); i++ {
+		if out.Y[i] < out.Y[i-1] {
+			out.Y[i] = out.Y[i-1]
+		}
+	}
+	return out.simplify()
+}
+
+// simplify removes interior breakpoints that lie on the line through
+// their neighbours (including the final-rate segment).
+func (c Curve) simplify() Curve {
+	n := len(c.X)
+	if n <= 1 {
+		return c
+	}
+	keepX := []float64{c.X[0]}
+	keepY := []float64{c.Y[0]}
+	slopeAfter := func(i int) float64 {
+		if i == n-1 {
+			return c.Rate
+		}
+		return (c.Y[i+1] - c.Y[i]) / (c.X[i+1] - c.X[i])
+	}
+	for i := 1; i < n; i++ {
+		j := len(keepX) - 1
+		in := (c.Y[i] - keepY[j]) / (c.X[i] - keepX[j])
+		out := slopeAfter(i)
+		if math.Abs(in-out) <= 1e-9*(1+math.Abs(in)+math.Abs(out)) {
+			continue // collinear: the point carries no information
+		}
+		keepX = append(keepX, c.X[i])
+		keepY = append(keepY, c.Y[i])
+	}
+	return Curve{X: keepX, Y: keepY, Rate: c.Rate}
+}
+
+// convAt evaluates the min-plus convolution (f⊗g)(t) = inf over
+// 0<=s<=t of f(s)+g(t−s) exactly: for piecewise-linear f and g the map
+// s ↦ f(s)+g(t−s) is piecewise linear with kinks only at breakpoints of
+// f and at t minus breakpoints of g, so the infimum is attained at one
+// of those finitely many candidates (or an interval end).
+func convAt(f, g Curve, t float64) float64 {
+	best := f.Value(0) + g.Value(t)
+	try := func(s float64) {
+		if s < 0 || s > t {
+			return
+		}
+		if v := f.Value(s) + g.Value(t-s); v < best {
+			best = v
+		}
+	}
+	try(t)
+	for _, x := range f.X {
+		try(x)
+	}
+	for _, x := range g.X {
+		try(t - x)
+	}
+	return best
+}
+
+// Convolve returns the min-plus convolution f⊗g. For piecewise-linear
+// curves the result is piecewise linear with breakpoints among the
+// pairwise sums of the operands' breakpoints, and its final slope is
+// the smaller of the two final slopes.
+func Convolve(f, g Curve) Curve {
+	xs := make([]float64, 0, len(f.X)*len(g.X)+1)
+	for _, a := range f.X {
+		for _, b := range g.X {
+			xs = append(xs, a+b)
+		}
+	}
+	// Beyond the largest pairwise sum every minimizing branch is an
+	// explicit line of slope f.Rate (rooted at a g breakpoint) or g.Rate
+	// (rooted at an f breakpoint); the envelope there is the min of the
+	// best line of each family, and their crossing — if it lies past the
+	// sums — is the convolution's final kink.
+	if f.Rate != g.Rate {
+		intercept := func(p, q Curve) float64 {
+			best := math.Inf(1)
+			for i := range p.X {
+				if v := p.Y[i] - q.Rate*p.X[i]; v < best {
+					best = v
+				}
+			}
+			l := len(q.X) - 1
+			return best + q.Y[l] - q.Rate*q.X[l]
+		}
+		bL, bM := intercept(f, g), intercept(g, f) // slopes g.Rate, f.Rate
+		if t := (bM - bL) / (g.Rate - f.Rate); !math.IsNaN(t) && !math.IsInf(t, 0) {
+			if t > f.X[len(f.X)-1]+g.X[len(g.X)-1] {
+				xs = append(xs, t)
+			}
+		}
+	}
+	return rebuild(xs, math.Min(f.Rate, g.Rate), func(t float64) float64 {
+		return convAt(f, g, t)
+	})
+}
+
+// deconvAt evaluates the min-plus deconvolution (f⊘g)(t) = sup over
+// u>=0 of f(t+u)−g(u); +Inf when f outruns g (f.Rate > g.Rate). The
+// supremum is attained at a breakpoint of g, at a breakpoint of f
+// shifted by t, or at u=0, because beyond every breakpoint the slope is
+// f.Rate−g.Rate <= 0.
+func deconvAt(f, g Curve, t float64) float64 {
+	if f.Rate > g.Rate {
+		return math.Inf(1)
+	}
+	best := f.Value(t) - g.Value(0)
+	try := func(u float64) {
+		if u < 0 {
+			return
+		}
+		if v := f.Value(t+u) - g.Value(u); v > best {
+			best = v
+		}
+	}
+	for _, x := range g.X {
+		try(x)
+	}
+	for _, x := range f.X {
+		try(x - t)
+	}
+	// Cover the joint tail explicitly (slope there is <= 0, so the sup
+	// over the tail is its left endpoint).
+	fl, gl := f.X[len(f.X)-1], g.X[len(g.X)-1]
+	try(math.Max(gl, fl-t))
+	return best
+}
+
+// Deconvolve returns the min-plus deconvolution f⊘g (the tightest
+// arrival curve for the output of a system with input envelope f and
+// service curve g). It returns ok=false when the result is infinite
+// (f.Rate > g.Rate).
+func Deconvolve(f, g Curve) (Curve, bool) {
+	if f.Rate > g.Rate {
+		return Curve{}, false
+	}
+	xs := []float64{0}
+	for _, a := range f.X {
+		for _, b := range g.X {
+			if d := a - b; d > 0 {
+				xs = append(xs, d)
+			}
+		}
+		xs = append(xs, a)
+	}
+	out := rebuild(xs, f.Rate, func(t float64) float64 {
+		return deconvAt(f, g, t)
+	})
+	// Deconvolution of nonnegative curves can dip below zero only if f
+	// starts above g everywhere relevant — clamp defensively for the
+	// representation invariant.
+	for i, y := range out.Y {
+		if y < 0 {
+			out.Y[i] = 0
+		}
+	}
+	return out, true
+}
+
+// inverseStrict returns inf{x >= 0 : c(x) > y} — the upper
+// pseudo-inverse, i.e. where the curve leaves the level y. It is +Inf
+// when the curve never exceeds y.
+func (c Curve) inverseStrict(y float64) float64 {
+	if y < c.Y[0] {
+		return 0
+	}
+	n := len(c.X)
+	last := n - 1
+	if y >= c.Y[last] {
+		if c.Rate <= 0 {
+			return math.Inf(1)
+		}
+		return c.X[last] + (y-c.Y[last])/c.Rate
+	}
+	// First i with Y[i] > y: the segment (i-1, i) rises through y.
+	i := sort.Search(n, func(i int) bool { return c.Y[i] > y })
+	slope := (c.Y[i] - c.Y[i-1]) / (c.X[i] - c.X[i-1])
+	return c.X[i-1] + (y-c.Y[i-1])/slope
+}
+
+// HorizontalDeviation returns h(f, g) = sup over t>=0 of
+// inf{d >= 0 : f(t) <= g(t+d)} — the worst-case virtual delay of a FIFO
+// flow with arrival curve f through a system with service curve g. It
+// returns +Inf when the backlog can grow without bound (f eventually
+// above g forever).
+//
+// The sup is computed in the level domain: writing y = f(t), the
+// deviation equals sup_y [g⁻¹(y) − f⁻¹(y)] over the levels f attains,
+// which is piecewise linear in y with kinks only at the breakpoint
+// levels of f and g — except that g⁻¹ jumps where g has a flat stretch
+// (its latency period first of all), so each candidate level is
+// evaluated from below with the lower pseudo-inverses AND from above
+// with the strict ones, capturing the one-sided suprema at the jumps.
+// The tail beyond the last level has slope 1/g.Rate − 1/f.Rate <= 0
+// whenever the first guard passes, so the candidate levels cover it.
+func HorizontalDeviation(f, g Curve) float64 {
+	if f.Rate > g.Rate {
+		return math.Inf(1)
+	}
+	fmax := math.Inf(1) // sup of f over [0, ∞)
+	if f.Rate == 0 {
+		fmax = f.Y[len(f.Y)-1]
+	}
+	levels := append(append([]float64(nil), f.Y...), g.Y...)
+	dev := 0.0
+	for _, y := range levels {
+		if y > fmax {
+			continue // never attained by f: irrelevant to its delay
+		}
+		gi := g.Inverse(y)
+		if math.IsInf(gi, 1) {
+			return math.Inf(1)
+		}
+		if d := gi - f.Inverse(y); d > dev {
+			dev = d
+		}
+		// One-sided limit from above: levels y⁺ just over a flat stretch.
+		fs := f.inverseStrict(y)
+		if math.IsInf(fs, 1) {
+			continue // y is f's ceiling: no level above is attained
+		}
+		gs := g.inverseStrict(y)
+		if math.IsInf(gs, 1) {
+			return math.Inf(1) // f exceeds y, g never does
+		}
+		if d := gs - fs; d > dev {
+			dev = d
+		}
+	}
+	return dev
+}
+
+// Max returns the pointwise maximum of two curves. The maximum of two
+// strict service curves for the same class is again a strict service
+// curve, which is how the family-specific round-robin curve and the
+// generic blind-multiplexing residual are combined.
+func Max(f, g Curve) Curve {
+	xs := append(append([]float64(nil), f.X...), g.X...)
+	// Segment crossings add breakpoints not present in either operand:
+	// scan the merged grid and solve each sign change, including one in
+	// the joint tail.
+	sort.Float64s(xs)
+	diff := func(t float64) float64 { return f.Value(t) - g.Value(t) }
+	var cross []float64
+	for i := 0; i+1 < len(xs); i++ {
+		a, b := xs[i], xs[i+1]
+		if a == b {
+			continue
+		}
+		da, db := diff(a), diff(b)
+		if (da < 0 && db > 0) || (da > 0 && db < 0) {
+			cross = append(cross, a+(b-a)*da/(da-db))
+		}
+	}
+	last := xs[len(xs)-1]
+	if d, dr := diff(last), f.Rate-g.Rate; d != 0 && dr != 0 && (d < 0) != (dr < 0) {
+		cross = append(cross, last-d/dr)
+	}
+	xs = append(xs, cross...)
+	return rebuild(xs, math.Max(f.Rate, g.Rate), func(t float64) float64 {
+		return math.Max(f.Value(t), g.Value(t))
+	})
+}
+
+// Residual returns the blind-multiplexing residual service curve for a
+// class sharing a constant-rate work-conserving server with cross
+// traffic bounded by the given arrival curves:
+//
+//	β_i(t) = [c·t − Σ_j α_j(t)]⁺_↑
+//
+// (positive part, then nondecreasing closure). The bound holds for ANY
+// work-conserving scheduling among the classes — it encodes only that
+// the server runs at rate c whenever backlogged and that cross traffic
+// is envelope-bounded — so it can be maxed with the family-specific
+// round-robin curves, and often dominates them when the cross load is
+// moderate.
+func Residual(rate float64, cross ...Curve) Curve {
+	if !(rate > 0) {
+		panic(fmt.Sprintf("netcalc: residual with rate %g", rate))
+	}
+	// raw(t) = rate·t − Σ cross_j(t): piecewise linear on the union of
+	// the cross breakpoints, possibly decreasing and negative.
+	var xs []float64
+	tailRate := rate
+	for _, a := range cross {
+		xs = append(xs, a.X...)
+		tailRate -= a.Rate
+	}
+	if len(xs) == 0 {
+		xs = []float64{0}
+	}
+	raw := func(t float64) float64 {
+		v := rate * t
+		for _, a := range cross {
+			v -= a.Value(t)
+		}
+		return v
+	}
+	// Nondecreasing closure sup_{s<=t} raw(s)⁺ of a piecewise-linear
+	// function: the running maximum over breakpoints, with a crossing
+	// breakpoint wherever a rising segment overtakes the running max.
+	sort.Float64s(xs)
+	runmax := math.Max(0, raw(0))
+	outX := []float64{0}
+	outY := []float64{runmax}
+	push := func(x, y float64) {
+		n := len(outX) - 1
+		if x <= outX[n] {
+			return
+		}
+		outX = append(outX, x)
+		outY = append(outY, y)
+	}
+	for i := 0; i+1 < len(xs); i++ {
+		a, b := xs[i], xs[i+1]
+		if a == b {
+			continue
+		}
+		va, vb := raw(a), raw(b)
+		if vb <= runmax {
+			push(b, runmax)
+			continue
+		}
+		if va < runmax {
+			// Rising segment crosses the running max inside (a, b).
+			push(a+(b-a)*(runmax-va)/(vb-va), runmax)
+		}
+		runmax = vb
+		push(b, runmax)
+	}
+	// Tail beyond the last breakpoint: slope tailRate forever.
+	lastX := xs[len(xs)-1]
+	if tailRate <= 0 {
+		return Curve{X: outX, Y: outY, Rate: 0}.simplify()
+	}
+	if v := raw(lastX); v < runmax {
+		// Flat until the rising tail reaches the running max.
+		push(lastX+(runmax-v)/tailRate, runmax)
+	}
+	return Curve{X: outX, Y: outY, Rate: tailRate}.simplify()
+}
+
+func (c Curve) String() string {
+	var b strings.Builder
+	b.WriteString("curve{")
+	for i := range c.X {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "(%.4g,%.4g)", c.X[i], c.Y[i])
+	}
+	fmt.Fprintf(&b, " rate=%.4g}", c.Rate)
+	return b.String()
+}

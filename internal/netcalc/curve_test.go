@@ -1,0 +1,407 @@
+package netcalc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCurve builds a random valid curve: a handful of breakpoints with
+// nondecreasing values and a nonnegative final rate.
+func randCurve(r *rand.Rand) Curve {
+	n := 1 + r.Intn(5)
+	c := Curve{X: make([]float64, n), Y: make([]float64, n), Rate: float64(r.Intn(8))}
+	x, y := 0.0, float64(r.Intn(10))
+	for i := 0; i < n; i++ {
+		c.X[i], c.Y[i] = x, y
+		x += 0.25 + 4*r.Float64()
+		y += 5 * r.Float64() * float64(r.Intn(2))
+	}
+	if err := c.Check(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// sampleGrid returns evaluation points covering both curves' breakpoint
+// ranges plus their joint tail.
+func sampleGrid(cs ...Curve) []float64 {
+	maxX := 1.0
+	for _, c := range cs {
+		if last := c.X[len(c.X)-1]; last > maxX {
+			maxX = last
+		}
+	}
+	var ts []float64
+	for i := 0; i <= 60; i++ {
+		ts = append(ts, 2*maxX*float64(i)/60)
+	}
+	return ts
+}
+
+func TestConstructorsAndEval(t *testing.T) {
+	tb := TokenBucket(100, 3)
+	if got := tb.Value(0); got != 100 {
+		t.Errorf("token bucket α(0) = %g, want 100", got)
+	}
+	if got := tb.Value(10); got != 130 {
+		t.Errorf("token bucket α(10) = %g, want 130", got)
+	}
+	rl := RateLatency(5, 2)
+	if got := rl.Value(1.5); got != 0 {
+		t.Errorf("rate-latency β(1.5) = %g, want 0", got)
+	}
+	if got := rl.Value(4); got != 10 {
+		t.Errorf("rate-latency β(4) = %g, want 10", got)
+	}
+	if got := rl.Inverse(10); got != 4 {
+		t.Errorf("rate-latency β⁻¹(10) = %g, want 4", got)
+	}
+	if got := Zero().Value(1e9); got != 0 {
+		t.Errorf("zero curve at 1e9 = %g", got)
+	}
+}
+
+func TestValueInverseConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		c := randCurve(r)
+		for _, x := range sampleGrid(c) {
+			y := c.Value(x)
+			inv := c.Inverse(y)
+			if math.IsInf(inv, 1) {
+				t.Fatalf("Inverse(Value(%g)) infinite for %v", x, c)
+			}
+			// inf{x': c(x') >= y} can only be at or before x.
+			if inv > x+1e-9 {
+				t.Fatalf("Inverse(%g) = %g > %g for %v", y, inv, x, c)
+			}
+			if got := c.Value(inv); got < y-1e-9*(1+y) {
+				t.Fatalf("Value(Inverse(%g)) = %g < %g for %v", y, got, y, c)
+			}
+		}
+	}
+}
+
+// TestConvolveCommutative: f⊗g == g⊗f (satellite: curve-algebra
+// properties).
+func TestConvolveCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		f, g := randCurve(r), randCurve(r)
+		fg, gf := Convolve(f, g), Convolve(g, f)
+		for _, x := range sampleGrid(f, g) {
+			a, b := fg.Value(x), gf.Value(x)
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				t.Fatalf("(f⊗g)(%g)=%g != (g⊗f)(%g)=%g\nf=%v\ng=%v", x, a, x, b, f, g)
+			}
+		}
+	}
+}
+
+func TestConvolveAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		f, g, h := randCurve(r), randCurve(r), randCurve(r)
+		l := Convolve(Convolve(f, g), h)
+		rr := Convolve(f, Convolve(g, h))
+		for _, x := range sampleGrid(f, g, h) {
+			a, b := l.Value(x), rr.Value(x)
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				t.Fatalf("((f⊗g)⊗h)(%g)=%g != (f⊗(g⊗h))(%g)=%g", x, a, x, b)
+			}
+		}
+	}
+}
+
+// TestConvolveMatchesBruteForce cross-checks the candidate-point
+// evaluation against a dense scan of the inf.
+func TestConvolveMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		f, g := randCurve(r), randCurve(r)
+		c := Convolve(f, g)
+		for _, x := range sampleGrid(f, g) {
+			grid := math.Inf(1)
+			for i := 0; i <= 400; i++ {
+				s := x * float64(i) / 400
+				if v := f.Value(s) + g.Value(x-s); v < grid {
+					grid = v
+				}
+			}
+			got := c.Value(x)
+			// The exact inf can only be at or below any sampled value.
+			if got > grid+1e-9*(1+math.Abs(grid)) {
+				t.Fatalf("conv(%g)=%g above sampled inf %g\nf=%v\ng=%v", x, got, grid, f, g)
+			}
+			// And a 400-point grid over piecewise-linear operands cannot
+			// be far above the true inf.
+			if grid-got > 0.2*(1+math.Abs(grid)) {
+				t.Fatalf("conv(%g)=%g far below sampled inf %g (suspect)", x, got, grid)
+			}
+		}
+	}
+}
+
+// TestDeconvolveDuality: f ≤ (f⊘g)⊗g and (f⊗g)⊘g ≤ f — the min-plus
+// residuation laws (satellite: deconvolution–convolution duality).
+func TestDeconvolveDuality(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		f, g := randCurve(r), randCurve(r)
+		if d, ok := Deconvolve(f, g); ok {
+			back := Convolve(d, g)
+			for _, x := range sampleGrid(f, g) {
+				if fv, bv := f.Value(x), back.Value(x); fv > bv+1e-6*(1+fv) {
+					t.Fatalf("f(%g)=%g > ((f⊘g)⊗g)(%g)=%g\nf=%v\ng=%v", x, fv, x, bv, f, g)
+				}
+			}
+		}
+		conv := Convolve(f, g)
+		if d, ok := Deconvolve(conv, g); ok {
+			for _, x := range sampleGrid(f, g) {
+				if dv, fv := d.Value(x), f.Value(x); dv > fv+1e-6*(1+fv) {
+					t.Fatalf("((f⊗g)⊘g)(%g)=%g > f(%g)=%g\nf=%v\ng=%v", x, dv, x, fv, f, g)
+				}
+			}
+		}
+	}
+}
+
+// TestHorizontalDeviationClosedForm pins the textbook case: token
+// bucket (b, r) through rate-latency (R, T) with r <= R has delay bound
+// T + b/R.
+func TestHorizontalDeviationClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		b, r, R, T float64
+		want       float64
+	}{
+		{100, 3, 5, 2, 2 + 100.0/5},
+		{0, 3, 5, 2, 2},
+		{0, 0, 5, 0, 0},
+		{550, 39.375, 39.375, 0.5, 0.5 + 550/39.375},
+	} {
+		got := HorizontalDeviation(TokenBucket(tc.b, tc.r), RateLatency(tc.R, tc.T))
+		if math.Abs(got-tc.want) > 1e-9*(1+tc.want) {
+			t.Errorf("h(tb(%g,%g), rl(%g,%g)) = %g, want %g", tc.b, tc.r, tc.R, tc.T, got, tc.want)
+		}
+	}
+}
+
+// TestDelayBoundMonotoneInBurst: inflating the arrival burst can never
+// shrink the bound (satellite: monotonicity in burst size).
+func TestDelayBoundMonotoneInBurst(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		g := randCurve(r)
+		rate := g.Rate * r.Float64()
+		prev := -1.0
+		for _, b := range []float64{0, 10, 100, 1000} {
+			d := HorizontalDeviation(TokenBucket(b, rate), g)
+			if math.IsNaN(d) {
+				t.Fatalf("NaN bound for burst %g vs %v", b, g)
+			}
+			if d < prev-1e-9 {
+				t.Fatalf("bound %g at burst %g below %g at smaller burst (g=%v)", d, b, prev, g)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestDelayBoundMonotoneInQuantum: scaling every DRR quantum up makes
+// the round coarser, so the bound can only grow (satellite:
+// monotonicity in quantum).
+func TestDelayBoundMonotoneInQuantum(t *testing.T) {
+	const rate = 441.0 / 11.2
+	lmax := []float64{1500, 1500, 1500, 1500}
+	arr := TokenBucket(3000, 1.0)
+	prev := -1.0
+	for _, scale := range []float64{1, 2, 4, 8} {
+		quanta := []float64{1500 * scale, 3000 * scale, 6000 * scale, 12000 * scale}
+		d := HorizontalDeviation(arr, DRRService(rate, quanta, lmax, 1))
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("non-finite bound %g at scale %g", d, scale)
+		}
+		if d < prev {
+			t.Fatalf("bound %g at quantum scale %g below %g at smaller scale", d, scale, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMaxPointwise(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		f, g := randCurve(r), randCurve(r)
+		m := Max(f, g)
+		if err := m.Check(); err != nil {
+			t.Fatalf("Max invariants: %v\nf=%v\ng=%v", err, f, g)
+		}
+		for _, x := range sampleGrid(f, g) {
+			want := math.Max(f.Value(x), g.Value(x))
+			if got := m.Value(x); math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("Max(%g)=%g, want %g\nf=%v\ng=%v\nm=%v", x, got, want, f, g, m)
+			}
+		}
+	}
+}
+
+func TestResidualClosedForm(t *testing.T) {
+	// Two token-bucket cross flows on a rate-10 server: residual is
+	// rate-latency with rate 10−(2+3)=5 and latency (40+60)/5=20.
+	got := Residual(10, TokenBucket(40, 2), TokenBucket(60, 3))
+	want := RateLatency(5, 20)
+	for _, x := range sampleGrid(got, want) {
+		if a, b := got.Value(x), want.Value(x); math.Abs(a-b) > 1e-9*(1+b) {
+			t.Fatalf("residual(%g)=%g, want %g (%v)", x, a, b, got)
+		}
+	}
+	// Overloaded cross traffic: no guaranteed service at all.
+	over := Residual(10, TokenBucket(40, 12))
+	for _, x := range []float64{0, 5, 100} {
+		if v := over.Value(x); v != 0 {
+			t.Fatalf("overloaded residual(%g) = %g, want 0", x, v)
+		}
+	}
+}
+
+// TestEdgeCaseBounds covers the degenerate-input satellite: zero burst,
+// zero rate, single class, quantum below the MTU — each must yield a
+// finite or explicitly infinite bound, never NaN.
+func TestEdgeCaseBounds(t *testing.T) {
+	const rate = 441.0 / 11.2
+	service := DRRService(rate, []float64{1500, 3000}, []float64{1500, 1500}, 0)
+
+	if d := HorizontalDeviation(TokenBucket(0, 0), service); d != 0 {
+		t.Errorf("empty flow bound %g, want 0", d)
+	}
+	if d := HorizontalDeviation(TokenBucket(500, 0), service); math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Errorf("zero-rate flow bound %g, want finite", d)
+	}
+	if d := HorizontalDeviation(TokenBucket(500, 1), Zero()); !math.IsInf(d, 1) {
+		t.Errorf("bound %g against zero service, want +Inf", d)
+	}
+	if d := HorizontalDeviation(TokenBucket(500, rate+1), service); !math.IsInf(d, 1) {
+		t.Errorf("overload bound %g, want +Inf", d)
+	}
+
+	single := DRRService(rate, []float64{1500}, []float64{1500}, 0)
+	if d := HorizontalDeviation(TokenBucket(1500, rate/2), single); math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Errorf("single-class bound %g, want finite", d)
+	}
+
+	// Quantum smaller than the MTU: the deficit analysis still holds,
+	// the latency term just grows.
+	small := DRRService(rate, []float64{100, 100}, []float64{1500, 1500}, 0)
+	if d := HorizontalDeviation(TokenBucket(1500, 1), small); math.IsNaN(d) || d <= 0 {
+		t.Errorf("sub-MTU quantum bound %g, want finite positive", d)
+	}
+
+	// IWRR with a nonpositive minimum packet size degrades to the zero
+	// curve and an explicit +Inf bound.
+	zc := IWRRService(rate, []int{1, 2}, []float64{0, 40}, []float64{1500, 1500}, 0, 2)
+	if d := HorizontalDeviation(TokenBucket(500, 1), zc); !math.IsInf(d, 1) {
+		t.Errorf("zero-lmin IWRR bound %g, want +Inf", d)
+	}
+}
+
+func TestCheckRejectsBadCurves(t *testing.T) {
+	for name, c := range map[string]Curve{
+		"empty":          {},
+		"nonzero-origin": {X: []float64{1}, Y: []float64{0}},
+		"unsorted":       {X: []float64{0, 2, 1}, Y: []float64{0, 1, 2}},
+		"decreasing":     {X: []float64{0, 1}, Y: []float64{2, 1}},
+		"nan-rate":       {X: []float64{0}, Y: []float64{0}, Rate: math.NaN()},
+		"negative":       {X: []float64{0}, Y: []float64{-1}},
+		"inf-breakpoint": {X: []float64{0, math.Inf(1)}, Y: []float64{0, 1}},
+	} {
+		if err := c.Check(); err == nil {
+			t.Errorf("%s: Check accepted invalid curve %v", name, c)
+		}
+	}
+}
+
+func TestBucketBurst(t *testing.T) {
+	events := []ArrivalEvent{{0, 100}, {1, 100}, {2, 100}, {10, 400}}
+	if got := BucketBurst(nil, 5); got != 0 {
+		t.Errorf("empty trace burst %g, want 0", got)
+	}
+	if got, want := BucketBurst(events, 0), 700.0; got != want {
+		t.Errorf("rate-0 burst %g, want total bytes %g", got, want)
+	}
+	// At a huge rate every window collapses to a single arrival instant.
+	if got, want := BucketBurst(events, 1e9), 400.0; math.Abs(got-want) > 1e-3 {
+		t.Errorf("high-rate burst %g, want max packet %g", got, want)
+	}
+	// Rate 100: the first three arrivals fit the replenishment exactly
+	// after a 100-byte initial burst; the final 400-byte packet arrives
+	// with the bucket full again.
+	if got, want := BucketBurst(events, 100), 400.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("rate-100 burst %g, want %g", got, want)
+	}
+
+	// Validity: for any rate, the envelope must dominate every window.
+	for _, rate := range []float64{0, 1, 37.5, 100, 1000} {
+		b := BucketBurst(events, rate)
+		for i := range events {
+			var cum float64
+			for j := i; j < len(events); j++ {
+				cum += events[j].Bytes
+				window := events[j].Time - events[i].Time
+				if cum > b+rate*window+1e-9 {
+					t.Fatalf("rate %g: window [%d,%d] carries %g > %g+%g·%g",
+						rate, i, j, cum, b, rate, window)
+				}
+			}
+		}
+	}
+}
+
+func TestBestBucketBound(t *testing.T) {
+	service := RateLatency(10, 1)
+	events := []ArrivalEvent{{0, 50}, {1, 50}, {2, 50}, {3, 50}}
+	bound, env := BestBucketBound(events, service)
+	if math.IsInf(bound, 1) || math.IsNaN(bound) {
+		t.Fatalf("bound %g, want finite", bound)
+	}
+	if err := env.Check(); err != nil {
+		t.Fatalf("envelope invalid: %v", err)
+	}
+	// The returned pair must be self-consistent.
+	if d := HorizontalDeviation(env, service); math.Abs(d-bound) > 1e-9*(1+bound) {
+		t.Fatalf("bound %g != h(envelope, service) %g", bound, d)
+	}
+	// Rate 0 always participates, so even an overload-rate trace gets a
+	// finite bound against a rising service curve.
+	flood := []ArrivalEvent{{0, 1e6}, {0.001, 1e6}}
+	if b, _ := BestBucketBound(flood, service); math.IsInf(b, 1) {
+		t.Error("flood trace bound infinite despite rate-0 candidate")
+	}
+	if b, _ := BestBucketBound(nil, service); b != 0 {
+		t.Errorf("empty trace bound %g, want 0", b)
+	}
+}
+
+func TestOperationsPreserveInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		f, g := randCurve(r), randCurve(r)
+		for name, c := range map[string]Curve{
+			"conv": Convolve(f, g),
+			"max":  Max(f, g),
+		} {
+			if err := c.Check(); err != nil {
+				t.Fatalf("%s broke invariants: %v\nf=%v\ng=%v", name, err, f, g)
+			}
+		}
+		if d, ok := Deconvolve(f, g); ok {
+			if err := d.Check(); err != nil {
+				t.Fatalf("deconv broke invariants: %v\nf=%v\ng=%v", err, f, g)
+			}
+		}
+		if d := HorizontalDeviation(f, g); math.IsNaN(d) {
+			t.Fatalf("h(f,g) is NaN\nf=%v\ng=%v", f, g)
+		}
+	}
+}

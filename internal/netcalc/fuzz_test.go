@@ -1,0 +1,99 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzCurve decodes a valid curve from raw fuzz bytes: each byte pair
+// contributes an x-increment and a y-increment, the final byte the tail
+// rate. Any input maps to a curve satisfying Check.
+func fuzzCurve(data []byte) (Curve, []byte) {
+	n := 1
+	if len(data) > 0 {
+		n += int(data[0] % 6)
+		data = data[1:]
+	}
+	c := Curve{X: make([]float64, 0, n), Y: make([]float64, 0, n)}
+	x, y := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		var dx, dy byte = 8, 0
+		if len(data) > 0 {
+			dx, data = data[0], data[1:]
+		}
+		if len(data) > 0 {
+			dy, data = data[0], data[1:]
+		}
+		if i == 0 {
+			y = float64(dy) / 4
+		} else {
+			x += 0.125 + float64(dx)/16
+			y += float64(dy) / 4
+		}
+		c.X = append(c.X, x)
+		c.Y = append(c.Y, y)
+	}
+	if len(data) > 0 {
+		c.Rate = float64(data[0]) / 8
+		data = data[1:]
+	}
+	return c, data
+}
+
+// FuzzCurveOps drives the curve algebra with arbitrary operand pairs
+// and asserts the closure properties the rest of the repo depends on:
+// every operation returns a valid curve, no NaN ever escapes, and
+// convolution stays commutative and dominated by both operands.
+func FuzzCurveOps(f *testing.F) {
+	f.Add([]byte{2, 10, 4, 20, 8, 3})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{5, 1, 200, 3, 7, 90, 250, 2, 2, 16})
+	f.Add([]byte{1, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, rest := fuzzCurve(data)
+		b, _ := fuzzCurve(rest)
+		if err := a.Check(); err != nil {
+			t.Fatalf("fuzzCurve produced invalid operand: %v", err)
+		}
+		if err := b.Check(); err != nil {
+			t.Fatalf("fuzzCurve produced invalid operand: %v", err)
+		}
+
+		conv := Convolve(a, b)
+		if err := conv.Check(); err != nil {
+			t.Fatalf("Convolve broke invariants: %v\na=%v\nb=%v", err, a, b)
+		}
+		m := Max(a, b)
+		if err := m.Check(); err != nil {
+			t.Fatalf("Max broke invariants: %v\na=%v\nb=%v", err, a, b)
+		}
+		if d, ok := Deconvolve(a, b); ok {
+			if err := d.Check(); err != nil {
+				t.Fatalf("Deconvolve broke invariants: %v\na=%v\nb=%v", err, a, b)
+			}
+		}
+		if h := HorizontalDeviation(a, b); math.IsNaN(h) || h < 0 {
+			t.Fatalf("HorizontalDeviation = %g\na=%v\nb=%v", h, a, b)
+		}
+		res := Residual(1+a.Rate+b.Rate, a, b)
+		if err := res.Check(); err != nil {
+			t.Fatalf("Residual broke invariants: %v\na=%v\nb=%v", err, a, b)
+		}
+
+		rev := Convolve(b, a)
+		for _, x := range sampleGrid(a, b) {
+			va, vb := conv.Value(x), rev.Value(x)
+			if math.Abs(va-vb) > 1e-6*(1+math.Abs(va)) {
+				t.Fatalf("conv not commutative at %g: %g vs %g\na=%v\nb=%v", x, va, vb, a, b)
+			}
+			// f⊗g <= min(f(0)+g, f+g(0)) pointwise; in particular it is
+			// dominated by each operand shifted by the other's origin.
+			if lim := math.Min(a.Value(x)+b.Y[0], b.Value(x)+a.Y[0]); va > lim+1e-6*(1+lim) {
+				t.Fatalf("conv(%g)=%g above operand bound %g\na=%v\nb=%v", x, va, lim, a, b)
+			}
+			if mv := m.Value(x); mv+1e-6*(1+mv) < math.Max(a.Value(x), b.Value(x)) {
+				t.Fatalf("max(%g)=%g below operands\na=%v\nb=%v", x, mv, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package netcalc
+
+import (
+	"fmt"
+	"math"
+)
+
+// DRRService returns a strict service curve for class i of a Deficit
+// Round Robin scheduler with per-class quanta (bytes/round) on a link
+// of rate bytes per time unit; lmax are the per-class maximum packet
+// sizes. The curve is rate-latency:
+//
+//	R_i = rate·q_i/Q                 (Q = Σ_j q_j)
+//	T_i = (l_i + L⁻)/rate + Q·(q_i + l_i)/(rate·q_i)
+//
+// with L⁻ = Σ_{j≠i} l_j. Derivation (conservative; see DESIGN.md §3g):
+// over any interval of a busy period in which class i stays backlogged
+// and completes k round-robin visits, its service is at least k·q_i−l_i
+// (the unspent deficit after a visit is below one packet), every class
+// is granted at most k+1 quanta plus its initial deficit (< l_j), so
+// the k+1 needed for the link to emit rate·t bytes satisfies
+// k+1 >= (rate·t − l_i − L⁻)/Q.
+func DRRService(rate float64, quanta, lmax []float64, i int) Curve {
+	checkClass(rate, len(quanta), len(lmax), i)
+	var q, lcross float64
+	for j, qj := range quanta {
+		if !(qj > 0) {
+			panic(fmt.Sprintf("netcalc: DRR quantum %g for class %d", qj, j))
+		}
+		q += qj
+		if j != i {
+			lcross += lmax[j]
+		}
+	}
+	qi, li := quanta[i], lmax[i]
+	r := rate * qi / q
+	t := (li+lcross)/rate + q*(qi+li)/(rate*qi)
+	return RateLatency(r, t)
+}
+
+// SCFQService returns a service curve for class i of a Self-Clocked
+// Fair Queueing (SCFQ) scheduler with the given weights: SCFQ is a
+// latency-rate server (Stiliadis & Varma) with
+//
+//	R_i = rate·w_i/W     T_i = l_i/R_i + Σ_{j≠i} l_j/rate
+//
+// — the class's own maximum packet at its reserved rate plus one
+// maximum packet of every competitor at link speed.
+func SCFQService(rate float64, weights, lmax []float64, i int) Curve {
+	checkClass(rate, len(weights), len(lmax), i)
+	var w, lcross float64
+	for j, wj := range weights {
+		if !(wj > 0) {
+			panic(fmt.Sprintf("netcalc: SCFQ weight %g for class %d", wj, j))
+		}
+		w += wj
+		if j != i {
+			lcross += lmax[j]
+		}
+	}
+	r := rate * weights[i] / w
+	t := lmax[i]/r + lcross/rate
+	return RateLatency(r, t)
+}
+
+// IWRRService returns a staircase strict service curve for class i of
+// an Interleaved Weighted Round Robin scheduler (integer weights,
+// wmax = max weight, one packet per eligible class per cycle). In the
+// worst case the class misses its final opportunity of a round just as
+// it becomes backlogged, then in every cycle k each competitor with
+// w_j > k transmits one maximum packet before the class's own slot
+// sends one minimum packet. That yields a curve alternating flat
+// segments (cross traffic of each cycle at link speed) with slope-rate
+// rises (one lmin[i] per eligible cycle), repeating each round — the
+// shape analyzed by Tabatabaee, Le Boudec and Boyer, with every
+// alignment term taken conservatively. After `rounds` materialized
+// rounds the curve continues with the tight linear lower envelope of
+// the periodic pattern (slope = the class's long-run guaranteed rate,
+// offset = the minimum of y − slope·x over one period, joined by a flat
+// segment so the result stays wide-sense increasing).
+//
+// A nonpositive lmin[i] yields the zero curve: no per-packet guarantee
+// can be made, and the delay bound is explicitly infinite.
+func IWRRService(rate float64, weights []int, lmin, lmax []float64, i int, rounds int) Curve {
+	checkClass(rate, len(weights), len(lmax), i)
+	if len(lmin) != len(weights) {
+		panic("netcalc: lmin length mismatch")
+	}
+	for j, wj := range weights {
+		if wj < 1 {
+			panic(fmt.Sprintf("netcalc: IWRR weight %d for class %d", wj, j))
+		}
+	}
+	li := lmin[i]
+	if !(li > 0) {
+		return Zero()
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	wi := weights[i]
+	wmax := 0
+	for _, w := range weights {
+		if w > wmax {
+			wmax = w
+		}
+	}
+	// cross[k]: bytes every competitor eligible in cycle k may send
+	// before class i's slot.
+	cross := make([]float64, wmax)
+	for k := 0; k < wmax; k++ {
+		for j, wj := range weights {
+			if j != i && wj > k {
+				cross[k] += lmax[j]
+			}
+		}
+	}
+	// Worst-case initial dead time: the tail of the round whose last
+	// eligible slot (cycle wi−1) was just missed.
+	var initial float64
+	for k := wi - 1; k < wmax; k++ {
+		initial += cross[k]
+	}
+
+	b := builder{rate: rate}
+	b.flat(initial)
+	periodStart := len(b.x) - 1 // the periodic pattern begins here
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < wmax; k++ {
+			b.flat(cross[k])
+			if k < wi {
+				b.rise(li)
+			}
+		}
+	}
+	// Tight linear tail: slope is the long-run guaranteed rate; the
+	// offset keeps the line under the periodic pattern everywhere
+	// (minimum of y − slope·x over one period, evaluated at the
+	// materialized breakpoints — the minimum of a piecewise-linear
+	// function is at a breakpoint). A flat joining segment preserves
+	// monotonicity and stays below the (nondecreasing) true curve.
+	roundBytes := float64(wi) * li
+	for j, wj := range weights {
+		if j != i {
+			roundBytes += float64(wj) * lmax[j]
+		}
+	}
+	slope := rate * float64(wi) * li / roundBytes
+	xEnd, yEnd := b.x[len(b.x)-1], b.y[len(b.y)-1]
+	offset := math.Inf(1)
+	for p := periodStart; p < len(b.x); p++ {
+		if o := b.y[p] - slope*b.x[p]; o < offset {
+			offset = o
+		}
+	}
+	if meet := (yEnd - offset) / slope; meet > xEnd {
+		b.x = append(b.x, meet)
+		b.y = append(b.y, yEnd)
+	}
+	return Curve{X: b.x, Y: b.y, Rate: slope}.simplify()
+}
+
+// builder accumulates flat and slope-rate segments in the time domain.
+type builder struct {
+	rate float64
+	x, y []float64
+}
+
+func (b *builder) last() (float64, float64) {
+	if len(b.x) == 0 {
+		b.x, b.y = []float64{0}, []float64{0}
+	}
+	return b.x[len(b.x)-1], b.y[len(b.y)-1]
+}
+
+// flat appends a zero-slope segment covering `bytes` of link output.
+func (b *builder) flat(bytes float64) {
+	x, y := b.last()
+	if bytes <= 0 {
+		return
+	}
+	b.x = append(b.x, x+bytes/b.rate)
+	b.y = append(b.y, y)
+}
+
+// rise appends a slope-rate segment delivering `bytes` of service.
+func (b *builder) rise(bytes float64) {
+	x, y := b.last()
+	if bytes <= 0 {
+		return
+	}
+	b.x = append(b.x, x+bytes/b.rate)
+	b.y = append(b.y, y+bytes)
+}
+
+func checkClass(rate float64, n, nl, i int) {
+	if !(rate > 0) {
+		panic(fmt.Sprintf("netcalc: link rate %g must be > 0", rate))
+	}
+	if n == 0 || nl != n {
+		panic(fmt.Sprintf("netcalc: %d classes with %d packet-size entries", n, nl))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("netcalc: class %d out of range [0,%d)", i, n))
+	}
+}

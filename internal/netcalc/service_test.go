@@ -1,0 +1,139 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+)
+
+const linkRate = 441.0 / 11.2 // the paper's normalized link rate, B/tu
+
+func TestDRRServiceForm(t *testing.T) {
+	quanta := []float64{1500, 3000}
+	lmax := []float64{1500, 1500}
+	c := DRRService(linkRate, quanta, lmax, 0)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	wantRate := linkRate * 1500 / 4500
+	wantLat := (1500+1500)/linkRate + 4500*(1500+1500)/(linkRate*1500)
+	if math.Abs(c.Rate-wantRate) > 1e-9 {
+		t.Errorf("rate %g, want %g", c.Rate, wantRate)
+	}
+	if got := c.Inverse(1e-12); math.Abs(got-wantLat) > 1e-6 {
+		t.Errorf("latency %g, want %g", got, wantLat)
+	}
+	// The guaranteed curve can never exceed the raw link service.
+	for _, x := range sampleGrid(c) {
+		if c.Value(x) > linkRate*x+1e-9 {
+			t.Fatalf("DRR curve above link line at t=%g", x)
+		}
+	}
+}
+
+func TestSCFQServiceForm(t *testing.T) {
+	weights := []float64{1, 2, 4, 8}
+	lmax := []float64{1500, 1500, 1500, 1500}
+	c := SCFQService(linkRate, weights, lmax, 3)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	wantRate := linkRate * 8 / 15
+	wantLat := 1500/wantRate + 3*1500/linkRate
+	if math.Abs(c.Rate-wantRate) > 1e-9 {
+		t.Errorf("rate %g, want %g", c.Rate, wantRate)
+	}
+	if got := c.Inverse(1e-12); math.Abs(got-wantLat) > 1e-6 {
+		t.Errorf("latency %g, want %g", got, wantLat)
+	}
+}
+
+func TestIWRRServiceShape(t *testing.T) {
+	// Two classes, weights {1, 1}: plain round robin. Worst case for
+	// class 0: it just missed its slot, waits one full competitor packet,
+	// then alternates lmin own / lmax other.
+	c := IWRRService(linkRate, []int{1, 1}, []float64{40, 40}, []float64{1500, 1500}, 0, 3)
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	dead := 2 * 1500 / linkRate // missed slot + first cycle's competitor
+	if got := c.Value(dead * 0.99); got != 0 {
+		t.Errorf("service %g before the first own slot, want 0", got)
+	}
+	if got, want := c.Value(dead+40/linkRate), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("after first own packet: %g, want %g", got, want)
+	}
+	wantRate := linkRate * 40 / (40 + 1500)
+	if math.Abs(c.Rate-wantRate) > 1e-9 {
+		t.Errorf("long-run rate %g, want %g", c.Rate, wantRate)
+	}
+}
+
+// TestIWRRServiceTailValid pins that the analytic linear tail never
+// rises above the fully materialized staircase: the curve built with
+// few rounds must lower-bound the one built with many.
+func TestIWRRServiceTailValid(t *testing.T) {
+	for _, tc := range []struct {
+		weights []int
+		class   int
+	}{
+		{[]int{1, 2, 4, 8}, 0},
+		{[]int{1, 2, 4, 8}, 3},
+		{[]int{8, 2}, 0}, // back-loaded rises: the regression case for a naive tail
+		{[]int{3, 5, 7}, 1},
+	} {
+		lmin := []float64{40, 40, 40, 40}[:len(tc.weights)]
+		lmax := []float64{1500, 1500, 1500, 1500}[:len(tc.weights)]
+		short := IWRRService(linkRate, tc.weights, lmin, lmax, tc.class, 2)
+		long := IWRRService(linkRate, tc.weights, lmin, lmax, tc.class, 12)
+		if err := short.Check(); err != nil {
+			t.Fatalf("%v class %d: %v", tc.weights, tc.class, err)
+		}
+		for _, x := range sampleGrid(long) {
+			s, l := short.Value(x), long.Value(x)
+			if s > l+1e-6*(1+l) {
+				t.Fatalf("weights %v class %d: 2-round curve %g above 12-round %g at t=%g",
+					tc.weights, tc.class, s, l, x)
+			}
+		}
+	}
+}
+
+func TestIWRRServiceSingleClass(t *testing.T) {
+	// One class owns the link: the curve must collapse to the full link
+	// rate with no latency.
+	c := IWRRService(linkRate, []int{4}, []float64{40}, []float64{1500}, 0, 2)
+	for _, x := range []float64{0, 1, 10, 1000} {
+		if got, want := c.Value(x), linkRate*x; math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("single-class IWRR(%g) = %g, want %g (%v)", x, got, want, c)
+		}
+	}
+}
+
+func TestIWRRServiceZeroLmin(t *testing.T) {
+	c := IWRRService(linkRate, []int{1, 2}, []float64{0, 40}, []float64{1500, 1500}, 0, 2)
+	if got := c.Value(1e6); got != 0 {
+		t.Errorf("zero-lmin curve value %g, want 0", got)
+	}
+	if c.Rate != 0 {
+		t.Errorf("zero-lmin curve rate %g, want 0", c.Rate)
+	}
+}
+
+func TestServicePanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero rate", func() { DRRService(0, []float64{1}, []float64{1}, 0) })
+	mustPanic("zero quantum", func() { DRRService(1, []float64{0}, []float64{1}, 0) })
+	mustPanic("class range", func() { DRRService(1, []float64{1}, []float64{1}, 1) })
+	mustPanic("length mismatch", func() { SCFQService(1, []float64{1, 2}, []float64{1}, 0) })
+	mustPanic("zero weight", func() { SCFQService(1, []float64{0}, []float64{1}, 0) })
+	mustPanic("iwrr weight", func() { IWRRService(1, []int{0}, []float64{1}, []float64{1}, 0, 2) })
+	mustPanic("iwrr lmin len", func() { IWRRService(1, []int{1}, nil, []float64{1}, 0, 2) })
+	mustPanic("residual rate", func() { Residual(0) })
+}
