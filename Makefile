@@ -6,7 +6,7 @@ GO ?= go
 # lower-variance numbers (e.g. BENCHTIME=5s).
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test test-short race bench bench-save bench-cmp cover conformance certify golden-update experiments experiments-quick fuzz fuzz-smoke soak stress stress-full clean
+.PHONY: all build vet test test-short race bench bench-save bench-cmp bench-fwd-save bench-fwd-cmp cover conformance certify golden-update experiments experiments-quick fuzz fuzz-smoke soak soak-sharded stress stress-full clean
 
 all: build vet test race conformance certify fuzz-smoke soak stress
 
@@ -26,12 +26,14 @@ test:
 
 # The repeated ForEach stress run exercises the parallel replication
 # runner's work-stealing dispatch under the race detector before the
-# whole-tree pass (which covers ./internal/experiments once more), and the
+# whole-tree pass (which covers ./internal/experiments once more). The
 # repeated forwarder run stresses the UDP data plane's receive/transmit/
-# close interleavings (conservation under mid-flight close in particular).
+# close interleavings — TestForwarderSharded* cover shard counts 1, 2 and
+# 8, so conservation under mid-flight close, the SPSC rings, and the
+# deadline merge all run under the race detector at every shard count.
 race:
 	$(GO) test -race -run TestForEachRaceStress -count=5 ./internal/experiments/
-	$(GO) test -race -run TestForwarder -count=3 ./internal/netio/
+	$(GO) test -race -run 'TestForwarder|TestIngress|TestRing' -count=3 ./internal/netio/
 	$(GO) test -race ./...
 
 test-short:
@@ -49,6 +51,18 @@ bench-save:
 # Compare the current tree against the committed baseline.
 bench-cmp:
 	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/pdbench -baseline BENCH_baseline.json
+
+# Forwarder data-plane throughput baseline (ingress batch processing,
+# SPSC ring transfer, end-to-end sharded loopback packets/sec). Kept as
+# its own artifact so the forwarder's throughput trajectory is recorded
+# per change without whole-tree benchmark noise.
+FWD_BENCH = BenchmarkIngressProcessBatch|BenchmarkForwarderThroughput|BenchmarkRingTransfer
+
+bench-fwd-save:
+	$(GO) test -bench '$(FWD_BENCH)' -benchmem -benchtime=$(BENCHTIME) ./internal/netio/ | $(GO) run ./cmd/pdbench -save BENCH_forwarder.json
+
+bench-fwd-cmp:
+	$(GO) test -bench '$(FWD_BENCH)' -benchmem -benchtime=$(BENCHTIME) ./internal/netio/ | $(GO) run ./cmd/pdbench -baseline BENCH_forwarder.json
 
 # Per-package coverage with enforced floors: fails if any package in
 # COVERAGE.md's table reports statement coverage below its floor.
@@ -102,6 +116,13 @@ fuzz-smoke:
 # with exact packet conservation after the drain.
 soak:
 	$(GO) run ./cmd/pdload -duration 2s -rate 4e6
+
+# Sharded soak: same acceptance gates (rate accuracy, conservation) with
+# the ingress split across 4 SO_REUSEPORT shards and deadline-merged at
+# egress; the reported packets/sec is the scaling headline on multi-core
+# hosts.
+soak-sharded:
+	$(GO) run ./cmd/pdload -duration 2s -rate 4e6 -shards 4
 
 # Chaos/fault stress matrix (cmd/pdstress): the scenario catalog across
 # {WTP,BPR,FCFS} plus the live-forwarder egress fault plans, judged on

@@ -52,6 +52,7 @@ func parseArgs(args []string) (options, error) {
 		listen      = fs.String("listen", "127.0.0.1:7000", "UDP ingress address")
 		forward     = fs.String("forward", "127.0.0.1:7001", "UDP egress destination")
 		rate        = fs.Float64("rate", 1e6, "egress rate, bits per second")
+		shards      = fs.Int("shards", 1, "parallel ingress shards (SO_REUSEPORT sockets; 1 = classic single-socket path)")
 		sched       = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
 		sdpStr      = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
 		stats       = fs.Duration("stats", 5*time.Second, "stats print interval")
@@ -84,6 +85,7 @@ func parseArgs(args []string) (options, error) {
 		Scheduler:      pdds.SchedulerKind(*sched),
 		SDP:            sdp,
 		RateBps:        *rate,
+		Shards:         *shards,
 		DrainTimeout:   *drain,
 		MetricsAddr:    *metricsAddr,
 		DistrustHeader: distrustClass,
@@ -176,6 +178,13 @@ func main() {
 	}
 	log.Printf("forwarding %s -> %s at %.0f bps with %s (SDP %v)",
 		fwd.Addr(), opts.cfg.Forward, opts.cfg.RateBps, opts.cfg.Scheduler, sdp)
+	if ss := fwd.ShardStats(); len(ss) > 1 {
+		note := ""
+		if ss[0].SharedSocket {
+			note = ", shared socket (no SO_REUSEPORT: flow pinning unavailable)"
+		}
+		log.Printf("ingress: %d shards, %s I/O%s", len(ss), ss[0].Mode, note)
+	}
 	if addr := fwd.MetricsAddr(); addr != nil {
 		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", addr)
 	}

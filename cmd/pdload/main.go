@@ -65,6 +65,9 @@ type loadConfig struct {
 	// distinct sender sockets per class, all emitting untagged
 	// datagrams the forwarder must classify by flow identity.
 	FlowsPerClass int
+	// Shards is the forwarder's parallel ingress shard count (0 or 1 =
+	// classic single-socket path).
+	Shards int
 }
 
 // classResult is the per-class slice of a soak report.
@@ -83,6 +86,16 @@ type loadReport struct {
 	AchievedRateBps float64       `json:"achieved_rate_bps"`
 	RateDeviation   float64       `json:"rate_deviation"` // achieved/config − 1
 	BusyPeriod      time.Duration `json:"busy_period_ns"` // first→last sink datagram
+	// AchievedPps is the end-to-end throughput in datagrams per second
+	// over the busy period — the headline data-plane figure for sharded
+	// and batched runs.
+	AchievedPps float64 `json:"achieved_pps"`
+
+	// Shards is the configured ingress shard count; ShardMode names the
+	// active receive path ("mmsg" or "datagram"), with "+shared" appended
+	// when SO_REUSEPORT was unavailable and the shards share one socket.
+	Shards    int    `json:"shards,omitempty"`
+	ShardMode string `json:"shard_mode,omitempty"`
 
 	Sent      uint64 `json:"sent"`
 	Received  uint64 `json:"received"` // forwarder ingress (post kernel buffer)
@@ -165,6 +178,7 @@ func soak(cfg loadConfig) (loadReport, error) {
 		SDP:          cfg.SDP,
 		RateBps:      cfg.RateBps,
 		MaxPackets:   cfg.MaxQueue,
+		Shards:       cfg.Shards,
 		DrainTimeout: cfg.Drain,
 		Classes:      classCfg,
 	})
@@ -267,6 +281,7 @@ func soak(cfg loadConfig) (loadReport, error) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	shardStats := fwd.ShardStats()
 	if err := fwd.Close(); err != nil {
 		return loadReport{}, err
 	}
@@ -292,6 +307,13 @@ func soak(cfg loadConfig) (loadReport, error) {
 		Flows:       cfg.FlowsPerClass * cfg.Classes,
 		DelayRatios: fwd.DelayRatios(),
 	}
+	if len(shardStats) > 0 {
+		rep.Shards = len(shardStats)
+		rep.ShardMode = shardStats[0].Mode
+		if shardStats[0].SharedSocket {
+			rep.ShardMode += "+shared"
+		}
+	}
 	for _, c := range fwd.ClassStats() {
 		cr := classResult{
 			Class:     c.Class,
@@ -314,6 +336,9 @@ func soak(cfg loadConfig) (loadReport, error) {
 		rep.BusyPeriod = sst.last.Sub(sst.first)
 		rep.AchievedRateBps = float64(sst.bytes) * 8 / rep.BusyPeriod.Seconds()
 		rep.RateDeviation = rep.AchievedRateBps/cfg.RateBps - 1
+		// Like the byte rate, the first datagram opens the busy period and
+		// is excluded from the numerator.
+		rep.AchievedPps = float64(sst.count-1) / rep.BusyPeriod.Seconds()
 	}
 	return rep, nil
 }
@@ -368,6 +393,11 @@ func (r loadReport) check(tolerance float64) error {
 func (r loadReport) render(w io.Writer) {
 	fmt.Fprintf(w, "egress rate: achieved %.0f bps vs configured %.0f bps (%+.2f%%) over %v busy period\n",
 		r.AchievedRateBps, r.ConfigRateBps, r.RateDeviation*100, r.BusyPeriod.Round(time.Millisecond))
+	fmt.Fprintf(w, "throughput: %.0f packets/sec end to end", r.AchievedPps)
+	if r.Shards > 0 {
+		fmt.Fprintf(w, " (%d ingress shard(s), %s I/O)", r.Shards, r.ShardMode)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "conservation: sent=%d received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d unaccounted=%d sink=%d\n",
 		r.Sent, r.Received, r.Forwarded, r.Dropped, r.BadHeader, r.BadClass, r.Unaccounted, r.SinkCount)
 	if r.Flows > 0 {
@@ -406,6 +436,7 @@ func run(args []string, stdout io.Writer) error {
 		sched     = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
 		sdpStr    = fs.String("sdp", "", "scheduler differentiation parameters (default 1,2,4,... per class)")
 		flows     = fs.Int("flows", 0, "synthetic flows per class: > 0 sends untagged datagrams over this many sockets per class and the forwarder classifies by flow identity (0 = classic tagged mode)")
+		shards    = fs.Int("shards", 1, "forwarder ingress shards (SO_REUSEPORT sockets; 1 = classic single-socket path)")
 		maxq      = fs.Int("maxq", 512, "forwarder queue bound, packets")
 		drain     = fs.Duration("drain", 10*time.Second, "forwarder drain budget at shutdown")
 		tolerance = fs.Float64("tolerance", 0.02, "acceptable relative egress-rate deviation")
@@ -437,6 +468,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxQueue:      *maxq,
 		Drain:         *drain,
 		FlowsPerClass: *flows,
+		Shards:        *shards,
 	})
 	if err != nil {
 		return err

@@ -51,6 +51,15 @@ type ForwarderConfig struct {
 	RateBps float64
 	// MaxPackets bounds the aggregate queue (0 = 4096).
 	MaxPackets int
+	// Shards is the number of parallel ingress paths (0 or 1 = the classic
+	// single-socket forwarder). With N > 1 the forwarder binds N sockets to
+	// the same ingress address under SO_REUSEPORT, so the kernel's flow
+	// hash gives every flow a stable shard; each shard classifies and
+	// admits independently and the single transmitter serves the globally
+	// highest-priority head across shards (deadline merge). Where
+	// SO_REUSEPORT is unavailable the shards share one socket, which
+	// ShardStats reports.
+	Shards int
 	// DrainTimeout bounds the graceful drain Close performs: queued
 	// datagrams keep transmitting — still paced at RateBps — for up to
 	// this long before the remainder is dropped and accounted. Zero
@@ -117,6 +126,7 @@ func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
 		SDP:            sdp,
 		RateBps:        cfg.RateBps,
 		MaxPackets:     cfg.MaxPackets,
+		Shards:         cfg.Shards,
 		DrainTimeout:   cfg.DrainTimeout,
 		DisablePooling: cfg.DisablePooling,
 		MetricsAddr:    cfg.MetricsAddr,
@@ -150,6 +160,33 @@ func (f *Forwarder) Addr() net.Addr { return f.inner.LocalAddr() }
 func (f *Forwarder) Stats() ForwarderStats {
 	s := f.inner.Stats()
 	return ForwarderStats(s)
+}
+
+// ForwarderShardStats describes one ingress shard's receive path.
+type ForwarderShardStats struct {
+	// Received and Batches count datagrams and socket reads on this shard;
+	// their ratio is the achieved receive batch size.
+	Received uint64
+	Batches  uint64
+	// MaxBatch is the largest single-read batch observed.
+	MaxBatch int
+	// Mode is the active I/O path: "mmsg" (recvmmsg/sendmmsg) or
+	// "datagram" (portable per-datagram syscalls).
+	Mode string
+	// SharedSocket reports the SO_REUSEPORT fallback: all shards reading
+	// one socket, so flow→shard stability is lost.
+	SharedSocket bool
+}
+
+// ShardStats returns per-shard ingress counters (one entry per configured
+// shard; a single entry for the classic single-socket forwarder).
+func (f *Forwarder) ShardStats() []ForwarderShardStats {
+	ss := f.inner.ShardStats()
+	out := make([]ForwarderShardStats, len(ss))
+	for i, s := range ss {
+		out[i] = ForwarderShardStats(s)
+	}
+	return out
 }
 
 // Close shuts the forwarder down.

@@ -33,6 +33,11 @@ type NetPlan struct {
 	Duration time.Duration
 	Offered  float64
 	Size     int
+	// Shards is the forwarder's parallel ingress shard count (0 or 1 =
+	// classic single-socket path). Sharded plans exercise the SPSC rings,
+	// the deadline merge, and mid-flight-close conservation under the
+	// same wire faults as their single-shard counterparts.
+	Shards int
 	// ExpectAllDropped asserts nothing is forwarded (whole-run outage
 	// plans); ExpectForwarded asserts forwarding survived the faults.
 	ExpectAllDropped bool
@@ -112,6 +117,7 @@ func RunNet(plan NetPlan) (*NetResult, error) {
 	cfg.SDP = p.SDP
 	cfg.RateBps = p.RateBps
 	cfg.MaxPackets = p.MaxQueue
+	cfg.Shards = p.Shards
 	cfg.DrainTimeout = 10 * time.Second
 	if p.Fault != nil {
 		cfg.Fault = p.Fault

@@ -143,5 +143,31 @@ func NetPlans() []NetPlan {
 			Fault:            &FaultPlan{Name: "persistent-outage", FailFrom: 0, FailTo: 1 << 62},
 			ExpectAllDropped: true,
 		},
+		// Sharded variants: the same wire faults with the ingress split
+		// across SO_REUSEPORT shards, so the fault path is exercised
+		// against the SPSC rings and the deadline-merged egress. The
+		// conservation oracle is shard-count-independent.
+		{
+			Name:            "wire-corrupt-sharded",
+			Fault:           &FaultPlan{Name: "wire-corrupt-sharded", CorruptEvery: 7, TruncateEvery: 11},
+			Shards:          4,
+			ExpectForwarded: true,
+		},
+		{
+			Name: "seeded-mixture-sharded",
+			Fault: &FaultPlan{
+				Name: "seeded-mixture-sharded", Seed: 0xC0FFEE,
+				CorruptEvery: 16, DupEvery: 16, ReorderEvery: 16,
+				TransientEvery: 16, TransientFails: 1,
+			},
+			Shards:          4,
+			ExpectForwarded: true,
+		},
+		{
+			Name:             "persistent-outage-sharded",
+			Fault:            &FaultPlan{Name: "persistent-outage-sharded", FailFrom: 0, FailTo: 1 << 62},
+			Shards:           8,
+			ExpectAllDropped: true,
+		},
 	}
 }

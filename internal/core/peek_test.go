@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Every supported scheduler must satisfy HeadPeeker (exactly for WTP and
+// FCFS, via the classQueues FIFO-age fallback for the rest), since the
+// sharded forwarder's deadline-merge peeks whatever discipline it is
+// configured with.
+func TestAllKindsImplementHeadPeeker(t *testing.T) {
+	for _, kind := range Kinds() {
+		sched, err := New(kind, []float64{1, 2, 4, 8}, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sched.(HeadPeeker); !ok {
+			t.Errorf("%s does not implement HeadPeeker", kind)
+		}
+	}
+}
+
+// PeekPriority on an empty scheduler reports no head and must not perturb
+// later behaviour.
+func TestPeekEmpty(t *testing.T) {
+	for _, kind := range Kinds() {
+		sched, _ := New(kind, []float64{1, 2}, 100)
+		if _, _, ok := sched.(HeadPeeker).PeekPriority(1.0); ok {
+			t.Errorf("%s: peek on empty scheduler reported a head", kind)
+		}
+		if p := sched.Dequeue(1.0); p != nil {
+			t.Errorf("%s: dequeue after empty peek returned %v", kind, p)
+		}
+	}
+}
+
+// The exact-peek contract: for WTP and FCFS, PeekPriority(now) names the
+// class of the packet Dequeue(now) selects, at every selection instant of
+// a randomized arrival/departure schedule, and peeking never dequeues.
+func TestPeekMatchesDequeueExactly(t *testing.T) {
+	for _, kind := range []Kind{KindWTP, KindFCFS} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			sdp := []float64{1, 2, 4, 8}
+			sched, err := New(kind, sdp, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peeker := sched.(HeadPeeker)
+			rng := rand.New(rand.NewSource(42))
+			now := 0.0
+			backlog := 0
+			for step := 0; step < 5000; step++ {
+				now += rng.Float64()
+				if backlog == 0 || rng.Intn(3) > 0 {
+					sched.Enqueue(&Packet{
+						ID:      uint64(step),
+						Class:   rng.Intn(len(sdp)),
+						Size:    64,
+						Arrival: now,
+					}, now)
+					backlog++
+					continue
+				}
+				pri, class, ok := peeker.PeekPriority(now)
+				if !ok {
+					t.Fatalf("step %d: backlog %d but peek reported empty", step, backlog)
+				}
+				// Peek twice: the first peek must not have consumed anything.
+				pri2, class2, ok2 := peeker.PeekPriority(now)
+				if !ok2 || pri2 != pri || class2 != class {
+					t.Fatalf("step %d: repeated peek diverged: (%g,%d) then (%g,%d,%v)",
+						step, pri, class, pri2, class2, ok2)
+				}
+				p := sched.Dequeue(now)
+				if p == nil {
+					t.Fatalf("step %d: peek reported a head but Dequeue returned nil", step)
+				}
+				backlog--
+				if p.Class != class {
+					t.Fatalf("step %d: peek chose class %d, Dequeue served class %d", step, class, p.Class)
+				}
+				wantPri := now - p.Arrival
+				if kind == KindWTP {
+					wantPri *= sdp[p.Class]
+				}
+				if pri != wantPri {
+					t.Fatalf("step %d: peek priority %g, dequeued packet's priority %g", step, pri, wantPri)
+				}
+			}
+		})
+	}
+}
+
+// The FIFO-age fallback: for disciplines that do not override PeekPriority,
+// the reported priority is the waiting time of the globally oldest head,
+// ties favoring the higher class — the merge key that keeps a multi-shard
+// egress globally FIFO.
+func TestPeekFallbackReportsOldestHead(t *testing.T) {
+	sched, err := New(KindDRR, []float64{1, 2, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeker := sched.(HeadPeeker)
+	sched.Enqueue(&Packet{ID: 1, Class: 1, Size: 64, Arrival: 1.0}, 1.0)
+	sched.Enqueue(&Packet{ID: 2, Class: 0, Size: 64, Arrival: 2.0}, 2.0)
+	sched.Enqueue(&Packet{ID: 3, Class: 2, Size: 64, Arrival: 3.0}, 3.0)
+	pri, class, ok := peeker.PeekPriority(10.0)
+	if !ok || class != 1 || pri != 9.0 {
+		t.Fatalf("peek = (%g, %d, %v), want oldest head (9, 1, true)", pri, class, ok)
+	}
+	// Equal ages tie toward the higher class.
+	sched2, _ := New(KindDRR, []float64{1, 2, 4}, 100)
+	sched2.(*DRR).Enqueue(&Packet{ID: 1, Class: 0, Size: 64, Arrival: 1.0}, 1.0)
+	sched2.(*DRR).Enqueue(&Packet{ID: 2, Class: 2, Size: 64, Arrival: 1.0}, 1.0)
+	_, class, ok = sched2.(HeadPeeker).PeekPriority(5.0)
+	if !ok || class != 2 {
+		t.Fatalf("tie-break peek chose class %d, want the higher class 2", class)
+	}
+}

@@ -1,0 +1,143 @@
+package netio
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+)
+
+// maxDatagram is the largest UDP datagram the forwarder accepts (the
+// 64 KiB UDP maximum; matches the pre-batching scratch buffer).
+const maxDatagram = 64 * 1024
+
+// defaultIOBatch is how many datagrams one recvmmsg/sendmmsg syscall moves
+// at most. Receive scratch is batch × 64 KiB per shard, so the batch is
+// kept modest; 16 already amortizes the syscall to ~1/16 per datagram.
+const defaultIOBatch = 16
+
+// recvSlot is one received datagram, viewed inside a batchConn's reusable
+// scratch: buf aliases the slot's fixed 64 KiB buffer (len = datagram
+// size) and is valid only until the next ReadBatch call.
+type recvSlot struct {
+	buf  []byte
+	from netip.AddrPort
+}
+
+// batchConn reads and writes UDP datagrams in batches. On Linux/amd64 it
+// uses recvmmsg/sendmmsg via raw syscalls (the numbers are stable kernel
+// ABI), probing at runtime and falling back permanently to the portable
+// single-datagram path if the kernel or sandbox rejects them (ENOSYS /
+// EPERM / EOPNOTSUPP — seccomp filters commonly return these). Everywhere
+// else the portable path is the only implementation.
+//
+// Concurrency: one goroutine may call ReadBatch and one may call
+// WriteBatch; the two sides keep separate scratch. The forwarder gives
+// each ingress shard its own batchConn (its own socket under
+// SO_REUSEPORT), and the single transmit goroutine its own.
+type batchConn struct {
+	conn *net.UDPConn
+	rc   syscall.RawConn
+	sys  *mmsgState  // nil when the mmsg fast path is unavailable
+	one  [1]recvSlot // scratch for the portable single-datagram path
+}
+
+// newBatchConn wraps conn for batched I/O with the given maximum batch
+// size (0 = defaultIOBatch).
+func newBatchConn(conn *net.UDPConn, batch int) (*batchConn, error) {
+	if batch <= 0 {
+		batch = defaultIOBatch
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &batchConn{conn: conn, rc: rc}
+	b.sys = newMmsgState(batch)
+	return b, nil
+}
+
+// Batched reports whether the multi-datagram syscall path is (still)
+// active; it flips to false permanently after a failed runtime probe.
+func (b *batchConn) Batched() bool { return b.sys != nil }
+
+// Mode names the active I/O path for logs and stats.
+func (b *batchConn) Mode() string {
+	if b.Batched() {
+		return "mmsg"
+	}
+	return "datagram"
+}
+
+// ReadBatch blocks until at least one datagram is available and returns a
+// view of the internal slots, valid until the next ReadBatch call. The
+// caller must copy any payload bytes it keeps.
+func (b *batchConn) ReadBatch() ([]recvSlot, error) {
+	if b.sys != nil {
+		slots, err, ok := b.readMmsg()
+		if ok {
+			return slots, err
+		}
+		// Probe failed: fall back below, permanently.
+		b.sys = nil
+	}
+	return b.readOne()
+}
+
+// WriteBatch sends payloads on the connected socket, returning how many
+// were fully sent. A short count with a nil error means the socket
+// accepted only a prefix (the caller retries the rest); an error reports
+// the failure hit after n successes.
+func (b *batchConn) WriteBatch(payloads [][]byte) (int, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	if b.sys != nil {
+		n, err, ok := b.writeMmsg(payloads)
+		if ok {
+			return n, err
+		}
+		b.sys = nil
+	}
+	return b.writeLoop(payloads)
+}
+
+// oneSlot returns the portable path's one-slot scratch, allocating its
+// buffer on first use (never reached while the mmsg path is active).
+func (b *batchConn) oneSlot() []recvSlot {
+	if b.one[0].buf == nil {
+		b.one[0].buf = make([]byte, maxDatagram)
+	}
+	return b.one[:]
+}
+
+// readOne is the portable single-datagram receive path.
+func (b *batchConn) readOne() ([]recvSlot, error) {
+	s := b.oneSlot()
+	n, from, err := b.conn.ReadFromUDPAddrPort(s[0].buf[:maxDatagram])
+	if err != nil {
+		return nil, err
+	}
+	s[0].buf = s[0].buf[:n]
+	s[0].from = from
+	return s[:1], nil
+}
+
+// writeLoop is the portable single-datagram send path.
+func (b *batchConn) writeLoop(payloads [][]byte) (int, error) {
+	for i, p := range payloads {
+		if _, err := b.conn.Write(p); err != nil {
+			return i, err
+		}
+	}
+	return len(payloads), nil
+}
+
+// probeFailure classifies errno values that mean "this kernel or sandbox
+// will never run the batched syscall" as opposed to transient I/O errors.
+func probeFailure(errno syscall.Errno) bool {
+	switch errno {
+	case syscall.ENOSYS, syscall.EPERM, syscall.EOPNOTSUPP, syscall.EINVAL:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+//go:build linux && amd64
+
+package netio
+
+import (
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// Two kernel constants the frozen syscall package predates: Go's linux/amd64
+// syscall table stops at 303 (recvmmsg = 299 made it, sendmmsg = 307 did
+// not), and SO_REUSEPORT (kernel ≥ 3.9) was never added. Both are stable
+// kernel ABI on amd64.
+const (
+	sysSENDMMSG = 307
+	soREUSEPORT = 15
+)
+
+// mmsghdr mirrors struct mmsghdr on linux/amd64: a msghdr plus the
+// kernel-written per-message byte count, padded to 8-byte alignment.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgState is the preallocated per-connection scratch for the
+// recvmmsg/sendmmsg fast path. Receive buffers, iovecs, headers, and
+// sockaddr storage are all fixed at construction so the steady-state read
+// and write paths allocate nothing.
+type mmsgState struct {
+	rbufs  [][]byte // fixed 64 KiB backing buffers; rslots alias them
+	rslots []recvSlot
+	riov   []syscall.Iovec
+	rhdrs  []mmsghdr
+	rnames []syscall.RawSockaddrAny
+
+	siov  []syscall.Iovec
+	shdrs []mmsghdr
+}
+
+func newMmsgState(batch int) *mmsgState {
+	s := &mmsgState{
+		rbufs:  make([][]byte, batch),
+		rslots: make([]recvSlot, batch),
+		riov:   make([]syscall.Iovec, batch),
+		rhdrs:  make([]mmsghdr, batch),
+		rnames: make([]syscall.RawSockaddrAny, batch),
+		siov:   make([]syscall.Iovec, batch),
+		shdrs:  make([]mmsghdr, batch),
+	}
+	for i := range s.rbufs {
+		s.rbufs[i] = make([]byte, maxDatagram)
+	}
+	return s
+}
+
+// readMmsg receives up to cap(batch) datagrams in one recvmmsg call. The
+// third return value reports whether the mmsg path handled the call; false
+// means the runtime probe failed and the caller must fall back permanently.
+func (b *batchConn) readMmsg() ([]recvSlot, error, bool) {
+	s := b.sys
+	n := 0
+	var opErr syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		// Reinitialize headers every attempt: the kernel overwrites
+		// Namelen and msg_len on each delivery.
+		for i := range s.rhdrs {
+			s.riov[i] = syscall.Iovec{Base: &s.rbufs[i][0]}
+			s.riov[i].SetLen(maxDatagram)
+			s.rhdrs[i].hdr = syscall.Msghdr{
+				Name:    (*byte)(unsafe.Pointer(&s.rnames[i])),
+				Namelen: uint32(unsafe.Sizeof(s.rnames[i])),
+				Iov:     &s.riov[i],
+			}
+			s.rhdrs[i].hdr.Iovlen = 1
+			s.rhdrs[i].n = 0
+		}
+		r1, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&s.rhdrs[0])), uintptr(len(s.rhdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		opErr = errno
+		if errno != 0 {
+			// EAGAIN: not readable yet — return false so the netpoller
+			// parks this goroutine until the socket is readable again.
+			return errno != syscall.EAGAIN
+		}
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		// Poller-level error (e.g. the socket was closed mid-wait).
+		return nil, err, true
+	}
+	if opErr != 0 {
+		if probeFailure(opErr) {
+			return nil, nil, false
+		}
+		return nil, opErr, true
+	}
+	for i := 0; i < n; i++ {
+		s.rslots[i].buf = s.rbufs[i][:s.rhdrs[i].n]
+		s.rslots[i].from = sockaddrToAddrPort(&s.rnames[i])
+	}
+	return s.rslots[:n], nil, true
+}
+
+// writeMmsg sends the payloads on the connected socket in one sendmmsg
+// call (per writability window), returning how many were sent. As with
+// readMmsg, ok=false reports a failed runtime probe.
+func (b *batchConn) writeMmsg(payloads [][]byte) (int, error, bool) {
+	s := b.sys
+	if len(payloads) > len(s.shdrs) {
+		payloads = payloads[:len(s.shdrs)]
+	}
+	n := 0
+	var opErr syscall.Errno
+	err := b.rc.Write(func(fd uintptr) bool {
+		for i, p := range payloads {
+			s.siov[i] = syscall.Iovec{}
+			if len(p) > 0 {
+				s.siov[i].Base = &p[0]
+			}
+			s.siov[i].SetLen(len(p))
+			s.shdrs[i].hdr = syscall.Msghdr{Iov: &s.siov[i]}
+			s.shdrs[i].hdr.Iovlen = 1
+			s.shdrs[i].n = 0
+		}
+		r1, _, errno := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&s.shdrs[0])), uintptr(len(payloads)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		opErr = errno
+		if errno != 0 {
+			return errno != syscall.EAGAIN
+		}
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err, true
+	}
+	if opErr != 0 {
+		if probeFailure(opErr) {
+			return 0, nil, false
+		}
+		return 0, opErr, true
+	}
+	return n, nil, true
+}
+
+// sockaddrToAddrPort converts a kernel-written sockaddr to netip without
+// allocating. IPv4-mapped IPv6 sources unmap to plain IPv4 so flow keys
+// match what ReadFromUDPAddrPort would have reported.
+func sockaddrToAddrPort(rsa *syscall.RawSockaddrAny) netip.AddrPort {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), ntohs(sa.Port))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		return netip.AddrPortFrom(netip.AddrFrom16(sa.Addr).Unmap(), ntohs(sa.Port))
+	}
+	return netip.AddrPort{}
+}
+
+// ntohs converts the network-byte-order port field of a raw sockaddr.
+func ntohs(p uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(&p))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// setReusePort enables SO_REUSEPORT on fd so N shard sockets can bind the
+// same addr:port and the kernel's 4-tuple hash spreads flows across them.
+func setReusePort(fd uintptr) error {
+	return syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soREUSEPORT, 1)
+}

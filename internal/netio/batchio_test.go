@@ -1,0 +1,157 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// batchPair builds a connected client → listening server UDP pair wrapped
+// in batchConns.
+func batchPair(t *testing.T, batch int) (client, server *batchConn) {
+	t.Helper()
+	srvConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvConn.Close() })
+	cliConn, err := net.DialUDP("udp", nil, srvConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cliConn.Close() })
+	server, err = newBatchConn(srvConn, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err = newBatchConn(cliConn, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+// roundTrip pushes count datagrams through the pair and checks payloads,
+// lengths, and the reported source address.
+func roundTrip(t *testing.T, client, server *batchConn, count int) {
+	t.Helper()
+	payloads := make([][]byte, count)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("datagram-%03d", i))
+	}
+	go func() {
+		sent := 0
+		for sent < count {
+			n, err := client.WriteBatch(payloads[sent:])
+			if err != nil {
+				return
+			}
+			sent += n
+		}
+	}()
+	wantFrom := client.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < count {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %d/%d datagrams", got, count)
+		}
+		server.conn.SetReadDeadline(deadline)
+		slots, err := server.ReadBatch()
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", got, err)
+		}
+		for _, s := range slots {
+			want := fmt.Sprintf("datagram-%03d", got)
+			if string(s.buf) != want {
+				t.Fatalf("datagram %d = %q, want %q", got, s.buf, want)
+			}
+			if s.from.Port() != wantFrom.Port() {
+				t.Fatalf("datagram %d from %v, want port %d", got, s.from, wantFrom.Port())
+			}
+			got++
+		}
+	}
+}
+
+func TestBatchConnRoundTrip(t *testing.T) {
+	client, server := batchPair(t, 8)
+	roundTrip(t, client, server, 50)
+}
+
+// The portable path must carry the same traffic: force it by discarding
+// the mmsg state on both ends.
+func TestBatchConnPortableFallback(t *testing.T) {
+	client, server := batchPair(t, 8)
+	client.sys = nil
+	server.sys = nil
+	if client.Mode() != "datagram" || server.Mode() != "datagram" {
+		t.Fatalf("modes = %s/%s, want datagram", client.Mode(), server.Mode())
+	}
+	roundTrip(t, client, server, 50)
+}
+
+func TestBatchConnModeOnLinuxAmd64(t *testing.T) {
+	if runtime.GOOS != "linux" || runtime.GOARCH != "amd64" {
+		t.Skip("mmsg fast path is linux/amd64 only")
+	}
+	client, server := batchPair(t, 8)
+	if !server.Batched() || server.Mode() != "mmsg" {
+		t.Fatalf("server mode = %s, want mmsg", server.Mode())
+	}
+	// Exercise one real batched read so the probe actually runs.
+	if _, err := client.WriteBatch([][]byte{[]byte("probe")}); err != nil {
+		t.Fatal(err)
+	}
+	server.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	slots, err := server.ReadBatch()
+	if err != nil || len(slots) != 1 || string(slots[0].buf) != "probe" {
+		t.Fatalf("ReadBatch = %v slots, err %v", len(slots), err)
+	}
+	if !server.Batched() {
+		t.Fatal("probe demoted the mmsg path on linux/amd64")
+	}
+}
+
+// A multi-datagram burst should surface as batches (>1 datagram per
+// ReadBatch at least once) when the mmsg path is active.
+func TestBatchConnCoalescesBursts(t *testing.T) {
+	if runtime.GOOS != "linux" || runtime.GOARCH != "amd64" {
+		t.Skip("mmsg fast path is linux/amd64 only")
+	}
+	client, server := batchPair(t, 16)
+	const count = 64
+	payloads := make([][]byte, count)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("burst-%03d", i))
+	}
+	sent := 0
+	for sent < count {
+		n, err := client.WriteBatch(payloads[sent:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent += n
+	}
+	// Let the kernel queue the burst before the first read.
+	time.Sleep(50 * time.Millisecond)
+	got, maxBatch := 0, 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < count {
+		server.conn.SetReadDeadline(deadline)
+		slots, err := server.ReadBatch()
+		if err != nil {
+			t.Fatalf("ReadBatch after %d: %v", got, err)
+		}
+		if len(slots) > maxBatch {
+			maxBatch = len(slots)
+		}
+		got += len(slots)
+	}
+	if maxBatch < 2 {
+		t.Fatalf("max batch = %d; a 64-datagram burst never coalesced", maxBatch)
+	}
+	t.Logf("max receive batch: %d datagrams", maxBatch)
+}

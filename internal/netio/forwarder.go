@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pdds/internal/classify"
 	"pdds/internal/core"
 	"pdds/internal/telemetry"
 )
@@ -30,6 +29,17 @@ type Config struct {
 	// MaxPackets bounds the aggregate queue; arriving datagrams beyond
 	// it are dropped (0 = 4096).
 	MaxPackets int
+	// Shards is the number of parallel ingress shards (0 or 1 = the
+	// classic single-path forwarder, byte-identical to its pre-sharding
+	// behaviour). Each shard owns an ingress socket — bound with
+	// SO_REUSEPORT so the kernel's 4-tuple flow hash pins every flow to
+	// one shard — plus a private scheduler instance and a lock-free SPSC
+	// ring into the single transmit goroutine, which always serves the
+	// globally most urgent head across shards (deadline merge; exact for
+	// WTP and FCFS, see core.HeadPeeker). When SO_REUSEPORT is
+	// unavailable the shards share one socket and flow→shard stability is
+	// lost (ShardStats reports SharedSocket). At most 64.
+	Shards int
 	// ClassMaxPackets, when non-nil, bounds each class's queue
 	// individually (len must equal the scheduler's class count; 0 means
 	// only the aggregate bound applies to that class). Arrivals beyond a
@@ -76,7 +86,9 @@ type Config struct {
 	// reordering, receiver stalls, and transient or persistent write
 	// errors (see FaultInjector). Faults compose with the normal retry
 	// and drop accounting, so the conservation invariant holds under any
-	// injected behaviour. Leave nil in production.
+	// injected behaviour. A fault injector disables egress write
+	// batching (its contract is one write attempt per datagram from the
+	// single transmit goroutine). Leave nil in production.
 	Fault FaultInjector
 }
 
@@ -89,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPackets == 0 {
 		c.MaxPackets = 4096
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -108,7 +123,11 @@ const (
 
 // Stats are cumulative forwarder counters. Every received datagram is
 // accounted exactly once: Received = Forwarded + Dropped + BadHeader +
-// BadClass + Queued at any snapshot, with Queued reaching 0 after Close.
+// BadClass + Queued at every quiescent snapshot, with Queued reaching 0
+// after Close. A datagram counts as Queued from admission until its
+// terminal event (forwarded, dropped, or discarded at close), wherever it
+// sits in the pipeline — shard ring, scheduler, or the in-flight egress
+// write.
 type Stats struct {
 	Received  uint64
 	Forwarded uint64
@@ -124,116 +143,171 @@ type Stats struct {
 	// Classifier configured, or a Classifier miss (no filter matched and
 	// no default class exists).
 	BadClass uint64
-	// Queued is the instantaneous scheduler backlog at snapshot time.
+	// Queued is the instantaneous in-pipeline backlog at snapshot time.
 	Queued uint64
+}
+
+// ShardStats describes one ingress shard's activity.
+type ShardStats struct {
+	// Received counts datagrams this shard pulled off its socket.
+	Received uint64
+	// Batches counts reads that returned at least one datagram; Received
+	// / Batches is the achieved amortization factor.
+	Batches uint64
+	// MaxBatch is the largest single receive batch.
+	MaxBatch int
+	// Mode is the shard's active I/O path: "mmsg" (recvmmsg/sendmmsg
+	// batched syscalls) or "datagram" (portable fallback).
+	Mode string
+	// SharedSocket is true when SO_REUSEPORT was unavailable and every
+	// shard reads the same socket: batching still applies but the kernel
+	// no longer pins flows to shards.
+	SharedSocket bool
 }
 
 // Forwarder is a single-hop class-based forwarding element over UDP.
 //
+// Data plane layout: N ingress shard goroutines (Config.Shards) each read
+// batches from their own socket, classify, account admission, and publish
+// packets on a lock-free SPSC ring. The single transmit goroutine owns
+// every per-shard scheduler instance: it drains the rings into them, peeks
+// each shard's head priority (core.HeadPeeker), and dequeues the global
+// maximum — so WTP's service order is preserved across shards without any
+// queue lock. Counter transactions take statMu, held for whole batches at
+// ingress and whole egress batches at transmit.
+//
 // Telemetry ordering contract: for every datagram the registry sees the
 // Arrival strictly before the matching Departure or Drop (both are
-// recorded under the queue mutex), so counter-derived backlogs
-// (arrivals − departures − drops) never transiently underflow.
+// recorded under statMu, arrival before the packet is published), so
+// counter-derived backlogs (arrivals − departures − drops) never
+// transiently underflow.
 type Forwarder struct {
-	cfg     Config
-	in      *net.UDPConn
-	dst     *net.UDPAddr
-	rate    float64 // bytes per second
-	epoch   time.Time
-	telem   *telemetry.Registry
-	metrics *telemetry.Server
+	cfg        Config
+	conns      []*net.UDPConn // shard ingress sockets; conns[0] is canonical
+	shared     bool           // REUSEPORT unavailable: all shards read conns[0]
+	dst        *net.UDPAddr
+	rate       float64 // bytes per second
+	epoch      time.Time
+	telem      *telemetry.Registry
+	metrics    *telemetry.Server
+	numClasses int
 
 	// abort interrupts pacer sleeps and write backoffs once Close (or a
 	// drain deadline) decides the remaining backlog will be dropped.
 	abort atomic.Bool
 
-	// ingressKey holds the local socket's canonical address and port:
-	// the destination side of every arriving flow's 5-tuple, resolved
-	// once at bind time so the receive loop builds flow keys without
+	// ingressAddr/Port hold the local socket's canonical address and
+	// port: the destination side of every arriving flow's 5-tuple,
+	// resolved once at bind time so shards build flow keys without
 	// touching the socket again.
 	ingressAddr netip.Addr
 	ingressPort uint16
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sched  core.Scheduler
-	queued int
-	// classQueued tracks the per-class backlog for ClassMaxPackets
-	// enforcement (maintained even when unbounded — it is one slice
-	// index per datagram).
+	shards []*ingressShard
+
+	// scheds/peekers/backlog are owned by the transmit goroutine (and by
+	// Close's final sweep, which runs strictly after it exits).
+	scheds  []core.Scheduler
+	peekers []core.HeadPeeker
+	backlog int
+
+	wake    chan struct{} // 1-buffered ingress→transmit doorbell
+	closeCh chan struct{} // closed once by Close
+
+	// statMu guards the counter transactions (stats, queued, classQueued,
+	// shardStats, idSeq, closing/drainBy) — never held across socket I/O.
+	statMu      sync.Mutex
+	queued      int
 	classQueued []int
 	closing     bool
 	drainBy     time.Time // drain deadline; valid once closing is set
 	stats       Stats
-	pool        *core.PacketPool // nil when pooling is disabled
-	bufs        [][]byte         // payload buffer free list (LIFO)
+	shardStats  []ShardStats
+	idSeq       uint64
 
 	closeOnce sync.Once
 	closeErr  error
 
-	wg sync.WaitGroup
+	ingressWG sync.WaitGroup
+	xmitWG    sync.WaitGroup
 }
 
-// Listen binds the forwarder's ingress socket and starts its receive and
+// Listen binds the forwarder's ingress socket(s) and starts its shard and
 // transmit loops. Stop with Close.
 func Listen(cfg Config) (*Forwarder, error) {
 	cfg = cfg.withDefaults()
 	if !(cfg.RateBps > 0) {
 		return nil, fmt.Errorf("netio: RateBps %g must be > 0", cfg.RateBps)
 	}
+	if cfg.Shards < 1 || cfg.Shards > maxShards {
+		return nil, fmt.Errorf("netio: Shards %d out of range [1,%d]", cfg.Shards, maxShards)
+	}
 	dst, err := net.ResolveUDPAddr("udp", cfg.Forward)
 	if err != nil {
 		return nil, fmt.Errorf("netio: resolve forward addr: %w", err)
 	}
-	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	conns, shared, err := listenShards(cfg.Listen, cfg.Shards)
 	if err != nil {
-		return nil, fmt.Errorf("netio: resolve listen addr: %w", err)
-	}
-	in, err := net.ListenUDP("udp", laddr)
-	if err != nil {
-		return nil, fmt.Errorf("netio: listen: %w", err)
-	}
-	rate := cfg.RateBps / 8
-	sched, err := core.New(cfg.Scheduler, cfg.SDP, rate)
-	if err != nil {
-		in.Close()
 		return nil, err
 	}
-	if cfg.Classifier != nil && cfg.Classifier.NumClasses() != sched.NumClasses() {
-		in.Close()
+	closeConns := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	rate := cfg.RateBps / 8
+	// One scheduler instance per shard; the transmit goroutine owns all
+	// of them and merges their heads by priority.
+	scheds := make([]core.Scheduler, cfg.Shards)
+	peekers := make([]core.HeadPeeker, cfg.Shards)
+	for i := range scheds {
+		s, err := core.New(cfg.Scheduler, cfg.SDP, rate)
+		if err != nil {
+			closeConns()
+			return nil, err
+		}
+		scheds[i] = s
+		peekers[i] = s.(core.HeadPeeker)
+	}
+	numClasses := scheds[0].NumClasses()
+	if cfg.Classifier != nil && cfg.Classifier.NumClasses() != numClasses {
+		closeConns()
 		return nil, fmt.Errorf("netio: classifier declares %d classes, scheduler %d",
-			cfg.Classifier.NumClasses(), sched.NumClasses())
+			cfg.Classifier.NumClasses(), numClasses)
 	}
 	if cfg.DistrustHeader && cfg.Classifier == nil {
-		in.Close()
+		closeConns()
 		return nil, fmt.Errorf("netio: DistrustHeader requires a Classifier")
 	}
-	if cfg.ClassMaxPackets != nil && len(cfg.ClassMaxPackets) != sched.NumClasses() {
-		in.Close()
+	if cfg.ClassMaxPackets != nil && len(cfg.ClassMaxPackets) != numClasses {
+		closeConns()
 		return nil, fmt.Errorf("netio: ClassMaxPackets has %d entries for %d classes",
-			len(cfg.ClassMaxPackets), sched.NumClasses())
+			len(cfg.ClassMaxPackets), numClasses)
 	}
 	for i, b := range cfg.ClassMaxPackets {
 		if b < 0 {
-			in.Close()
+			closeConns()
 			return nil, fmt.Errorf("netio: ClassMaxPackets[%d] = %d must be >= 0", i, b)
 		}
 	}
-	local := in.LocalAddr().(*net.UDPAddr).AddrPort()
+	local := conns[0].LocalAddr().(*net.UDPAddr).AddrPort()
 	f := &Forwarder{
 		cfg:         cfg,
-		in:          in,
+		conns:       conns,
+		shared:      shared,
 		dst:         dst,
 		rate:        rate,
 		epoch:       time.Now(),
-		sched:       sched,
 		telem:       cfg.Telemetry,
+		numClasses:  numClasses,
 		ingressAddr: local.Addr().Unmap(),
 		ingressPort: local.Port(),
-		classQueued: make([]int, sched.NumClasses()),
-	}
-	if !cfg.DisablePooling {
-		f.pool = core.NewPacketPool()
+		scheds:      scheds,
+		peekers:     peekers,
+		wake:        make(chan struct{}, 1),
+		closeCh:     make(chan struct{}),
+		classQueued: make([]int, numClasses),
+		shardStats:  make([]ShardStats, cfg.Shards),
 	}
 	if f.telem == nil && cfg.MetricsAddr != "" {
 		f.telem = telemetry.NewWithSDP(cfg.SDP)
@@ -241,20 +315,40 @@ func Listen(cfg Config) (*Forwarder, error) {
 	if cfg.MetricsAddr != "" {
 		srv, err := telemetry.Serve(cfg.MetricsAddr, f.telem)
 		if err != nil {
-			in.Close()
+			closeConns()
 			return nil, err
 		}
 		f.metrics = srv
 	}
-	f.cond = sync.NewCond(&f.mu)
-	f.wg.Add(2)
-	go f.receiveLoop()
+	f.shards = make([]*ingressShard, cfg.Shards)
+	for i := range f.shards {
+		conn := conns[0]
+		if !shared {
+			conn = conns[i]
+		}
+		bc, err := newBatchConn(conn, defaultIOBatch)
+		if err != nil {
+			closeConns()
+			if f.metrics != nil {
+				f.metrics.Close()
+			}
+			return nil, fmt.Errorf("netio: raw ingress socket: %w", err)
+		}
+		f.shards[i] = newIngressShard(f, i, bc)
+		f.shardStats[i] = ShardStats{Mode: bc.Mode(), SharedSocket: shared}
+	}
+	f.ingressWG.Add(len(f.shards))
+	for _, s := range f.shards {
+		go s.run()
+	}
+	f.xmitWG.Add(1)
 	go f.transmitLoop()
 	return f, nil
 }
 
-// LocalAddr returns the bound ingress address.
-func (f *Forwarder) LocalAddr() net.Addr { return f.in.LocalAddr() }
+// LocalAddr returns the bound ingress address (shared by every shard
+// socket under SO_REUSEPORT).
+func (f *Forwarder) LocalAddr() net.Addr { return f.conns[0].LocalAddr() }
 
 // Telemetry returns the attached registry (nil when uninstrumented).
 func (f *Forwarder) Telemetry() *telemetry.Registry { return f.telem }
@@ -270,11 +364,20 @@ func (f *Forwarder) MetricsAddr() net.Addr {
 
 // Stats returns a snapshot of the counters.
 func (f *Forwarder) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
 	s := f.stats
 	s.Queued = uint64(f.queued)
 	return s
+}
+
+// ShardStats returns a snapshot of each ingress shard's counters.
+func (f *Forwarder) ShardStats() []ShardStats {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	out := make([]ShardStats, len(f.shardStats))
+	copy(out, f.shardStats)
+	return out
 }
 
 // Close shuts the forwarder down and waits for its loops to exit. With
@@ -284,12 +387,24 @@ func (f *Forwarder) Stats() Stats {
 // empties or the deadline passes, whichever comes first.
 func (f *Forwarder) Close() error {
 	f.closeOnce.Do(func() {
-		f.mu.Lock()
+		f.statMu.Lock()
 		f.beginClosingLocked()
-		f.cond.Broadcast()
-		f.mu.Unlock()
-		f.closeErr = f.in.Close()
-		f.wg.Wait()
+		f.statMu.Unlock()
+		for i, c := range f.conns {
+			err := c.Close()
+			if i == 0 {
+				f.closeErr = err
+			}
+		}
+		close(f.closeCh)
+		// Shards exit on their sockets' close errors; after they are gone
+		// the rings are final, the transmitter drains (or discards at the
+		// deadline), and the final sweep below accounts anything a shard
+		// published after the transmitter's last look.
+		f.ingressWG.Wait()
+		f.signalWake()
+		f.xmitWG.Wait()
+		f.discardAll()
 		if f.metrics != nil {
 			f.metrics.Close()
 		}
@@ -299,7 +414,7 @@ func (f *Forwarder) Close() error {
 
 // beginClosingLocked transitions to the closing state: no new datagrams
 // are admitted and the transmitter drains until drainBy. Caller must hold
-// f.mu.
+// f.statMu.
 func (f *Forwarder) beginClosingLocked() {
 	if f.closing {
 		return
@@ -311,138 +426,124 @@ func (f *Forwarder) beginClosingLocked() {
 	}
 }
 
+// noteIngressDone is called by a shard whose socket died (normally at
+// Close): it flips to closing so the transmitter knows to drain out.
+func (f *Forwarder) noteIngressDone() {
+	f.statMu.Lock()
+	f.beginClosingLocked()
+	f.statMu.Unlock()
+	f.signalWake()
+}
+
+// closeState snapshots the closing flag and drain deadline.
+func (f *Forwarder) closeState() (bool, time.Time) {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.closing, f.drainBy
+}
+
+// signalWake rings the transmitter's doorbell without blocking.
+func (f *Forwarder) signalWake() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
 // now returns seconds since the forwarder started; it is the time base for
 // waiting-time priorities.
 func (f *Forwarder) now() float64 { return time.Since(f.epoch).Seconds() }
 
-// getBufLocked returns a zero-length payload buffer with capacity ≥ n,
-// reusing the free list when possible. Caller must hold f.mu.
-func (f *Forwarder) getBufLocked(n int) []byte {
-	if k := len(f.bufs); k > 0 && !f.cfg.DisablePooling {
-		b := f.bufs[k-1]
-		f.bufs[k-1] = nil
-		f.bufs = f.bufs[:k-1]
-		if cap(b) >= n {
-			return b[:0]
-		}
-		// Too small for this datagram: let it go and size up below.
-	}
-	c := 256
-	for c < n {
-		c <<= 1
-	}
-	return make([]byte, 0, c)
+// txTime is the virtual transmission time of size bytes at the egress rate.
+func (f *Forwarder) txTime(size int64) time.Duration {
+	return time.Duration(float64(size) / f.rate * float64(time.Second))
 }
 
-// recycleLocked returns p and its payload buffer to the free lists after
-// its terminal event (forwarded, dropped, or discarded at close). Caller
-// must hold f.mu and must not touch p afterwards.
-func (f *Forwarder) recycleLocked(p *core.Packet) {
+// recycle returns p to its shard's free ring after its terminal event.
+// Transmit-side only (or Close's final sweep, strictly after the
+// transmitter exits). A full free ring simply releases the packet to the
+// garbage collector.
+func (f *Forwarder) recycle(shard int, p *core.Packet) {
 	if f.cfg.DisablePooling {
 		return
 	}
-	if p.Payload != nil {
-		f.bufs = append(f.bufs, p.Payload[:0])
-	}
-	f.pool.Put(p)
+	p.Payload = p.Payload[:0]
+	f.shards[shard].free.Push(p)
 }
 
-func (f *Forwarder) receiveLoop() {
-	defer f.wg.Done()
-	scratch := make([]byte, 64*1024)
-	numClasses := f.sched.NumClasses()
-	var seq uint64
-	for {
-		n, from, err := f.in.ReadFromUDPAddrPort(scratch)
-		if err != nil {
-			// Closed socket (or a fatal error): stop receiving and
-			// wake the transmitter so it can drain or discard.
-			f.mu.Lock()
-			f.beginClosingLocked()
-			f.cond.Broadcast()
-			f.mu.Unlock()
-			return
-		}
-
-		f.mu.Lock()
-		f.stats.Received++
-		hdr, _, derr := Decode(scratch[:n])
-		if derr != nil {
-			f.stats.BadHeader++
-			f.mu.Unlock()
-			continue
-		}
-		// Resolve the class. The header byte is trusted when it is in
-		// range (unless DistrustHeader); ClassUnspecified and
-		// out-of-range bytes go to the classifier. The raw byte doubles
-		// as the DS byte the classifier's dscp filters see.
-		class := int(hdr.Class)
-		trusted := class < numClasses && !f.cfg.DistrustHeader
-		if !trusted {
-			cls := f.cfg.Classifier
-			if cls == nil {
-				f.stats.BadClass++
-				f.mu.Unlock()
-				continue
+// drainRings moves every published packet from the shard rings into the
+// corresponding scheduler instance. Transmit-side only.
+func (f *Forwarder) drainRings() {
+	for i, sh := range f.shards {
+		for {
+			p := sh.xmit.Pop()
+			if p == nil {
+				break
 			}
-			key := classify.FlowKey{
-				Src:     from.Addr().Unmap(),
-				Dst:     f.ingressAddr,
-				SrcPort: from.Port(),
-				DstPort: f.ingressPort,
-				Proto:   classify.ProtoUDP,
-			}
-			c, ok := cls.Classify(key, hdr.Class, time.Since(f.epoch).Nanoseconds())
-			if !ok || c < 0 || c >= numClasses {
-				f.stats.BadClass++
-				f.mu.Unlock()
-				continue
-			}
-			class = c
+			f.scheds[i].Enqueue(p, p.Arrival)
+			f.backlog++
 		}
-		now := f.now()
-		// Ordering contract: the arrival is recorded before the
-		// transmitter can observe the packet — and before any drop —
-		// so a departure or drop never precedes its arrival.
-		f.telem.Arrival(class, int64(n), now)
-		if f.queued >= f.cfg.MaxPackets || f.closing ||
-			(f.cfg.ClassMaxPackets != nil && f.cfg.ClassMaxPackets[class] > 0 &&
-				f.classQueued[class] >= f.cfg.ClassMaxPackets[class]) {
-			f.stats.Dropped++
-			f.telem.Drop(class, now)
-			f.mu.Unlock()
-			continue
-		}
-		seq++
-		p := f.pool.Get()
-		p.ID = seq
-		p.Class = class
-		p.Size = int64(n)
-		p.Arrival = now
-		p.Payload = append(f.getBufLocked(n), scratch[:n]...)
-		if class != int(hdr.Class) {
-			// Re-mark the DS byte with the edge's decision so downstream
-			// hops and sinks see the resolved class.
-			p.Payload[1] = byte(class)
-		}
-		f.sched.Enqueue(p, now)
-		f.queued++
-		f.classQueued[class]++
-		f.cond.Signal()
-		f.mu.Unlock()
 	}
+}
+
+// selectShard returns the shard whose scheduler holds the globally most
+// urgent head, or -1 when all are empty. For WTP and FCFS the per-shard
+// peek names exactly what that shard's Dequeue would serve, so taking the
+// argmax reproduces the single-queue service order (see DESIGN.md §3h);
+// ties — possible when per-batch amortized stamps collide — resolve like
+// the scheduler's own tie-break (higher class first), then lowest shard.
+func (f *Forwarder) selectShard(now float64) int {
+	if len(f.scheds) == 1 {
+		if f.backlog == 0 {
+			return -1
+		}
+		return 0
+	}
+	best, bestClass := -1, -1
+	bestPri := 0.0
+	for i, pk := range f.peekers {
+		pri, class, ok := pk.PeekPriority(now)
+		if !ok {
+			continue
+		}
+		if best < 0 || pri > bestPri || (pri == bestPri && class > bestClass) {
+			best, bestPri, bestClass = i, pri, class
+		}
+	}
+	return best
+}
+
+// recountBacklog resynchronizes the transmitter's backlog counter from
+// the schedulers (defensive; reached only if a scheduler disagrees with
+// its own accounting).
+func (f *Forwarder) recountBacklog() {
+	n := 0
+	for _, sched := range f.scheds {
+		for c := 0; c < f.numClasses; c++ {
+			n += sched.Len(c)
+		}
+	}
+	f.backlog = n
 }
 
 func (f *Forwarder) transmitLoop() {
-	defer f.wg.Done()
+	defer f.xmitWG.Done()
 	out, err := net.DialUDP("udp", nil, f.dst)
+	var bc *batchConn
 	if err != nil {
 		// No egress socket: every datagram fails its write and is
 		// dropped with full accounting, keeping the stats invariant.
 		out = nil
 	} else {
 		defer out.Close()
+		bc, _ = newBatchConn(out, defaultIOBatch)
 	}
+
+	pkts := make([]*core.Packet, 0, defaultIOBatch)
+	shards := make([]int, 0, defaultIOBatch)
+	departs := make([]float64, 0, defaultIOBatch)
+	werrs := make([]error, defaultIOBatch)
+	payloads := make([][]byte, 0, defaultIOBatch)
 
 	// nextFree is the absolute time the virtual egress link becomes
 	// free: an absolute-clock token pacer. It advances by exactly one
@@ -455,29 +556,36 @@ func (f *Forwarder) transmitLoop() {
 		// waiting-time priorities are evaluated at service time.
 		f.sleepUntil(nextFree)
 
-		f.mu.Lock()
-		wasEmpty := f.queued == 0
-		for f.queued == 0 && !f.closing {
-			f.cond.Wait()
+		f.drainRings()
+		wasEmpty := f.backlog == 0
+		for f.backlog == 0 {
+			if closing, _ := f.closeState(); closing {
+				// Nothing queued and no more arrivals: drained.
+				return
+			}
+			select {
+			case <-f.wake:
+			case <-f.closeCh:
+			}
+			f.drainRings()
 		}
-		if f.closing && (f.queued == 0 || !time.Now().Before(f.drainBy)) {
-			f.discardQueuedLocked()
-			f.mu.Unlock()
+		if closing, drainBy := f.closeState(); closing && !time.Now().Before(drainBy) {
+			f.discardAll()
 			return
 		}
+
 		depart := f.now()
-		p := f.sched.Dequeue(depart)
-		if p == nil { // defensive: queued said otherwise
-			f.queued = 0
-			for i := range f.classQueued {
-				f.classQueued[i] = 0
-			}
-			f.mu.Unlock()
+		s := f.selectShard(depart)
+		if s < 0 {
+			f.recountBacklog()
 			continue
 		}
-		f.queued--
-		f.classQueued[p.Class]--
-		f.mu.Unlock()
+		p := f.scheds[s].Dequeue(depart)
+		if p == nil { // defensive: backlog said otherwise
+			f.recountBacklog()
+			continue
+		}
+		f.backlog--
 
 		if wasEmpty {
 			// The link sat idle: restart the pacer clock so unused
@@ -488,43 +596,109 @@ func (f *Forwarder) transmitLoop() {
 			}
 		}
 
-		werr := f.write(out, p.Payload)
+		pkts = append(pkts[:0], p)
+		shards = append(shards[:0], s)
+		departs = append(departs[:0], depart)
+		nextFree = nextFree.Add(f.txTime(p.Size))
 
-		f.mu.Lock()
-		if werr == nil {
-			f.stats.Forwarded++
-			f.telem.Departure(p.Class, p.Size, depart, depart-p.Arrival)
-		} else {
-			f.stats.Dropped++
-			f.telem.Drop(p.Class, f.now())
+		// Egress batching: extend the batch only while the pacer is
+		// already behind schedule — each added packet's service time has
+		// passed too — so paced runs keep the classic
+		// one-datagram-per-wakeup path (batch == 1, per-datagram write
+		// and retry), every packet keeps its own depart stamp, and a
+		// fault injector always sees single attempts.
+		if bc != nil && bc.Batched() && f.cfg.Fault == nil {
+			for len(pkts) < defaultIOBatch && nextFree.Before(time.Now()) {
+				f.drainRings()
+				if f.backlog == 0 {
+					break
+				}
+				d := f.now()
+				si := f.selectShard(d)
+				if si < 0 {
+					break
+				}
+				q := f.scheds[si].Dequeue(d)
+				if q == nil {
+					break
+				}
+				f.backlog--
+				pkts = append(pkts, q)
+				shards = append(shards, si)
+				departs = append(departs, d)
+				nextFree = nextFree.Add(f.txTime(q.Size))
+			}
 		}
-		size := p.Size
-		f.recycleLocked(p)
-		f.mu.Unlock()
 
-		nextFree = nextFree.Add(time.Duration(float64(size) / f.rate * float64(time.Second)))
+		if len(pkts) == 1 {
+			werrs[0] = f.write(out, pkts[0].Payload)
+		} else {
+			// sendmmsg sends a prefix and stops at the first failing
+			// datagram; route that one through the classic per-datagram
+			// retry path and resume batching after it.
+			i := 0
+			for i < len(pkts) {
+				payloads = payloads[:0]
+				for _, q := range pkts[i:] {
+					payloads = append(payloads, q.Payload)
+				}
+				n, werr := bc.WriteBatch(payloads)
+				for j := 0; j < n; j++ {
+					werrs[i+j] = nil
+				}
+				i += n
+				if i < len(pkts) && (werr != nil || n == 0) {
+					werrs[i] = f.write(out, pkts[i].Payload)
+					i++
+				}
+			}
+		}
+
+		f.statMu.Lock()
+		for i, q := range pkts {
+			if werrs[i] == nil {
+				f.stats.Forwarded++
+				f.telem.Departure(q.Class, q.Size, departs[i], departs[i]-q.Arrival)
+			} else {
+				f.stats.Dropped++
+				f.telem.Drop(q.Class, f.now())
+			}
+			f.queued--
+			f.classQueued[q.Class]--
+		}
+		f.statMu.Unlock()
+		for i, q := range pkts {
+			f.recycle(shards[i], q)
+		}
 	}
 }
 
-// discardQueuedLocked drops every queued packet with full accounting so
-// Received = Forwarded + Dropped + BadHeader + BadClass holds after
-// shutdown and the telemetry backlog returns to zero. Caller must hold
-// f.mu.
-func (f *Forwarder) discardQueuedLocked() {
+// discardAll drops every packet the transmit side owns — shard rings and
+// scheduler instances — with full accounting, so Received = Forwarded +
+// Dropped + BadHeader + BadClass holds after shutdown and the telemetry
+// backlog returns to zero. Called from the transmit goroutine at the drain
+// deadline, and from Close strictly after both goroutine groups exit (the
+// final sweep that catches packets a shard published after the
+// transmitter's last look).
+func (f *Forwarder) discardAll() {
+	f.drainRings()
 	now := f.now()
-	for {
-		p := f.sched.Dequeue(now)
-		if p == nil {
-			break
+	f.statMu.Lock()
+	for s, sched := range f.scheds {
+		for {
+			p := sched.Dequeue(now)
+			if p == nil {
+				break
+			}
+			f.stats.Dropped++
+			f.telem.Drop(p.Class, now)
+			f.queued--
+			f.classQueued[p.Class]--
+			f.backlog--
+			f.recycle(s, p)
 		}
-		f.stats.Dropped++
-		f.telem.Drop(p.Class, now)
-		f.recycleLocked(p)
 	}
-	f.queued = 0
-	for i := range f.classQueued {
-		f.classQueued[i] = 0
-	}
+	f.statMu.Unlock()
 }
 
 // sleepUntil sleeps until t in bounded chunks, returning early when the

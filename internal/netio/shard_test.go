@@ -1,0 +1,551 @@
+package netio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdds/internal/core"
+	"pdds/internal/telemetry"
+)
+
+// checkDrainedConservation asserts the accounting identity at a drained
+// snapshot: nothing queued and every datagram in a terminal counter (the
+// stricter form of forwarder_test.go's checkConservation).
+func checkDrainedConservation(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Queued != 0 {
+		t.Fatalf("queued = %d after shutdown, want 0 (%+v)", st.Queued, st)
+	}
+	checkConservation(t, st, nil)
+}
+
+// Sharded end-to-end conservation: multiple source ports (flows) blast a
+// sharded forwarder, including malformed datagrams; every datagram must be
+// accounted exactly once at 1, 2, and 8 shards, shard counters must fold
+// to the aggregate, and the drain must leave nothing queued.
+func TestForwarderShardedConservation(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sink.Close()
+			go func() { // drain the sink so loopback buffers stay clear
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := sink.ReadFromUDP(buf); err != nil {
+						return
+					}
+				}
+			}()
+
+			fwd, err := Listen(Config{
+				Listen:       "127.0.0.1:0",
+				Forward:      sink.LocalAddr().String(),
+				RateBps:      1 << 22, // 4 Mbps
+				MaxPackets:   256,
+				Shards:       shards,
+				DrainTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fwd.Close()
+
+			const flows, perFlow = 4, 400
+			var wg sync.WaitGroup
+			for fl := 0; fl < flows; fl++ {
+				wg.Add(1)
+				go func(fl int) {
+					defer wg.Done()
+					conn, err := net.Dial("udp", fwd.LocalAddr().String())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer conn.Close()
+					for i := 0; i < perFlow; i++ {
+						if i%100 == 99 { // a sprinkle of undecodable datagrams
+							conn.Write([]byte{0xBA, 0xD0})
+						} else {
+							dg := Header{Class: uint8(i % 4), Seq: uint64(i), SentAt: time.Now()}.Encode(nil)
+							conn.Write(append(dg, make([]byte, 80)...))
+						}
+						if i%50 == 49 {
+							time.Sleep(time.Millisecond)
+						}
+					}
+				}(fl)
+			}
+			wg.Wait()
+
+			// Wait until everything sent has landed and the queue drained.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				st := fwd.Stats()
+				if st.Received == flows*perFlow && st.Queued == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("timed out waiting for quiescence: %+v", st)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			st := fwd.Stats()
+			checkDrainedConservation(t, st)
+			if st.BadHeader != flows*perFlow/100 {
+				t.Fatalf("bad headers = %d, want %d", st.BadHeader, flows*perFlow/100)
+			}
+			if st.Forwarded == 0 {
+				t.Fatal("nothing forwarded")
+			}
+
+			ss := fwd.ShardStats()
+			if len(ss) != shards {
+				t.Fatalf("ShardStats has %d entries, want %d", len(ss), shards)
+			}
+			var shardSum uint64
+			active := 0
+			for i, s := range ss {
+				shardSum += s.Received
+				if s.Received > 0 {
+					active++
+					if s.Batches == 0 || s.MaxBatch < 1 {
+						t.Errorf("shard %d: received %d but batches=%d maxBatch=%d",
+							i, s.Received, s.Batches, s.MaxBatch)
+					}
+				}
+				if s.Mode != "mmsg" && s.Mode != "datagram" {
+					t.Errorf("shard %d: mode %q", i, s.Mode)
+				}
+				if s.SharedSocket != ss[0].SharedSocket {
+					t.Errorf("shard %d: SharedSocket disagrees with shard 0", i)
+				}
+			}
+			if shardSum != st.Received {
+				t.Fatalf("shard Received sum %d != aggregate %d", shardSum, st.Received)
+			}
+			if active == 0 {
+				t.Fatal("no shard received anything")
+			}
+			t.Logf("shards=%d active=%d shared=%v modes=%s", shards, active, ss[0].SharedSocket, ss[0].Mode)
+
+			if err := fwd.Close(); err != nil {
+				t.Fatal(err)
+			}
+			checkDrainedConservation(t, fwd.Stats())
+		})
+	}
+}
+
+// Mid-flight Close under sharded load: senders are still blasting when the
+// forwarder shuts down with no drain; every admitted datagram must still
+// land in a terminal counter.
+func TestForwarderShardedMidFlightClose(t *testing.T) {
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			fwd, err := Listen(Config{
+				Listen:     "127.0.0.1:0",
+				Forward:    "127.0.0.1:9", // discard
+				RateBps:    1 << 20,
+				MaxPackets: 128,
+				Shards:     shards,
+				// DrainTimeout zero: drop the backlog at Close.
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for fl := 0; fl < 4; fl++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					conn, err := net.Dial("udp", fwd.LocalAddr().String())
+					if err != nil {
+						return
+					}
+					defer conn.Close()
+					dg := Header{Class: 1, SentAt: time.Now()}.Encode(nil)
+					dg = append(dg, make([]byte, 100)...)
+					for !stop.Load() {
+						conn.Write(dg) // errors expected once closed
+					}
+				}()
+			}
+			time.Sleep(100 * time.Millisecond)
+			if err := fwd.Close(); err != nil {
+				t.Fatal(err)
+			}
+			stop.Store(true)
+			wg.Wait()
+			checkDrainedConservation(t, fwd.Stats())
+		})
+	}
+}
+
+// flowShard is the oracle's stand-in for the kernel's REUSEPORT hash: any
+// deterministic flow→shard map works, the merge must not care.
+func flowShard(flow, shards int) int {
+	return int(uint32(flow)*2654435761) % shards
+}
+
+// newBareShardedForwarder assembles the transmit-side state (schedulers,
+// peekers) without sockets or goroutines, for oracle and alloc tests.
+func newBareShardedForwarder(t testing.TB, shards int, sdp []float64) *Forwarder {
+	t.Helper()
+	f := &Forwarder{numClasses: len(sdp)}
+	for i := 0; i < shards; i++ {
+		s, err := core.New(core.KindWTP, sdp, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.scheds = append(f.scheds, s)
+		f.peekers = append(f.peekers, s.(core.HeadPeeker))
+	}
+	return f
+}
+
+// The ordering oracle (deadline-merge correctness): replay a recorded
+// arrival trace through N per-shard WTP instances merged by selectShard,
+// against a single-queue WTP reference served at the same instants.
+//
+//   - distinct arrival stamps: the merged service order must be EXACTLY the
+//     single-queue order, at every shard count — the per-shard peek names
+//     what Dequeue serves, and the argmax over shard heads is the global
+//     WTP selection.
+//   - batch-quantized stamps (what per-batch time.Now() amortization
+//     produces): the served (stamp, class) sequence must still be
+//     elementwise identical to the single queue's — only packet IDs within
+//     an equal-stamp equal-class group may permute, because their relative
+//     order is the one thing single-queue WTP itself decides arbitrarily
+//     (FIFO on push order). The ID-level inversions that permutation
+//     induces are counted and logged as the measured inversion error.
+func TestForwarderMergeOrderingOracle(t *testing.T) {
+	sdp := []float64{1, 2, 4, 8}
+	const n = 4000
+	for _, shards := range []int{1, 2, 8} {
+		for _, quantized := range []bool{false, true} {
+			name := fmt.Sprintf("shards=%d/distinct", shards)
+			if quantized {
+				name = fmt.Sprintf("shards=%d/batched", shards)
+			}
+			t.Run(name, func(t *testing.T) {
+				ref, err := core.New(core.KindWTP, sdp, 1e6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := newBareShardedForwarder(t, shards, sdp)
+
+				type pktInfo struct {
+					arrival float64
+					class   int
+				}
+				info := make(map[uint64]pktInfo, n)
+				type arrival struct {
+					at    float64
+					class int
+					shard int
+					id    uint64
+				}
+				rng := rand.New(rand.NewSource(7))
+				trace := make([]arrival, n)
+				now := 0.0
+				for i := range trace {
+					now += rng.Float64() * 0.002
+					at := now
+					if quantized {
+						// 10 ms quantum ≈ one received batch's shared stamp.
+						at = math.Floor(now/0.010) * 0.010
+					}
+					trace[i] = arrival{
+						at:    at,
+						class: rng.Intn(len(sdp)),
+						shard: flowShard(rng.Intn(64), shards),
+						id:    uint64(i + 1),
+					}
+					info[trace[i].id] = pktInfo{arrival: at, class: trace[i].class}
+				}
+
+				// Serve both systems at identical instants, slightly slower
+				// than the mean arrival rate so a backlog builds and WTP
+				// priorities actually compete.
+				const svcGap = 0.0015
+				refOrder := make([]uint64, 0, n)
+				mergedOrder := make([]uint64, 0, n)
+				ti, backlog := 0, 0
+				svcAt := 0.0
+				for len(refOrder) < n {
+					for ti < n && trace[ti].at <= svcAt {
+						a := trace[ti]
+						ref.Enqueue(&core.Packet{ID: a.id, Class: a.class, Size: 100, Arrival: a.at}, a.at)
+						f.scheds[a.shard].Enqueue(&core.Packet{ID: a.id, Class: a.class, Size: 100, Arrival: a.at}, a.at)
+						ti++
+						backlog++
+					}
+					if backlog == 0 {
+						svcAt = trace[ti].at // idle: jump to the next arrival
+						continue
+					}
+					pRef := ref.Dequeue(svcAt)
+					f.backlog = backlog
+					si := f.selectShard(svcAt)
+					if si < 0 {
+						t.Fatalf("selectShard found nothing with backlog %d", backlog)
+					}
+					pM := f.scheds[si].Dequeue(svcAt)
+					if pRef == nil || pM == nil {
+						t.Fatalf("dequeue returned nil with backlog %d", backlog)
+					}
+					backlog--
+					refOrder = append(refOrder, pRef.ID)
+					mergedOrder = append(mergedOrder, pM.ID)
+					svcAt += svcGap
+				}
+
+				if !quantized {
+					for i := range refOrder {
+						if refOrder[i] != mergedOrder[i] {
+							t.Fatalf("service %d: merged served packet %d, single-queue served %d",
+								i, mergedOrder[i], refOrder[i])
+						}
+					}
+					return
+				}
+
+				// Quantized stamps: the (stamp, class) service sequences
+				// must agree at every position — the merge may only permute
+				// IDs inside equal-stamp equal-class groups.
+				for i := range refOrder {
+					ri, mi := info[refOrder[i]], info[mergedOrder[i]]
+					if ri != mi {
+						t.Fatalf("service %d: merged served (arr=%g class=%d), single-queue served (arr=%g class=%d)",
+							i, mi.arrival, mi.class, ri.arrival, ri.class)
+					}
+				}
+				// Measure the resulting ID-level inversion error.
+				refPos := make(map[uint64]int, n)
+				for i, id := range refOrder {
+					refPos[id] = i
+				}
+				inversions := 0
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						if refPos[mergedOrder[i]] > refPos[mergedOrder[j]] {
+							inversions++
+						}
+					}
+				}
+				t.Logf("shards=%d: service sequence exact; %d ID-level inversions over %d packets from equal-stamp groups",
+					shards, inversions, n)
+			})
+		}
+	}
+}
+
+// The zero-allocation gate for the trusted-header ingress path: once the
+// packet and payload-buffer free rings are warm, processing a batch —
+// decode, admission accounting, telemetry arrival, packet build, ring
+// publication — must not allocate.
+func TestIngressProcessBatchAllocs(t *testing.T) {
+	f, sh, slots := newBareIngress(t, 8)
+	drain := func() {
+		for {
+			p := sh.xmit.Pop()
+			if p == nil {
+				return
+			}
+			f.statMu.Lock()
+			f.queued--
+			f.classQueued[p.Class]--
+			f.statMu.Unlock()
+			f.recycle(0, p)
+		}
+	}
+	nowT := time.Now()
+	// Warm the free rings and telemetry.
+	for i := 0; i < 4; i++ {
+		sh.processBatch(slots, nowT)
+		drain()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sh.processBatch(slots, nowT)
+		drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("trusted-header ingress path allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// newBareIngress builds a socketless shard plus a batch of decodable
+// trusted-header slots for alloc and throughput measurement.
+func newBareIngress(t testing.TB, batch int) (*Forwarder, *ingressShard, []recvSlot) {
+	t.Helper()
+	sdp := []float64{1, 2, 4, 8}
+	f := newBareShardedForwarder(t, 1, sdp)
+	f.cfg = Config{MaxPackets: 512}.withDefaults()
+	f.epoch = time.Now()
+	f.telem = telemetry.NewWithSDP(sdp)
+	f.classQueued = make([]int, len(sdp))
+	f.shardStats = make([]ShardStats, 1)
+	sh := newIngressShard(f, 0, &batchConn{})
+	f.shards = []*ingressShard{sh}
+	slots := make([]recvSlot, batch)
+	for i := range slots {
+		dg := Header{Class: uint8(i % 4), Seq: uint64(i), SentAt: time.Now()}.Encode(nil)
+		slots[i].buf = append(dg, make([]byte, 100)...)
+	}
+	return f, sh, slots
+}
+
+func BenchmarkIngressProcessBatch(b *testing.B) {
+	f, sh, slots := newBareIngress(b, defaultIOBatch)
+	drain := func() {
+		for {
+			p := sh.xmit.Pop()
+			if p == nil {
+				return
+			}
+			f.statMu.Lock()
+			f.queued--
+			f.classQueued[p.Class]--
+			f.statMu.Unlock()
+			f.recycle(0, p)
+		}
+	}
+	nowT := time.Now()
+	sh.processBatch(slots, nowT)
+	drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.processBatch(slots, nowT)
+		drain()
+	}
+	b.ReportMetric(float64(b.N*len(slots))/b.Elapsed().Seconds(), "packets/sec")
+}
+
+// End-to-end throughput over loopback at an effectively unpaced rate:
+// measures the full sharded data plane (batched receive, merge, batched
+// egress) in packets per second.
+func BenchmarkForwarderThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			go func() {
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := sink.ReadFromUDP(buf); err != nil {
+						return
+					}
+				}
+			}()
+			fwd, err := Listen(Config{
+				Listen:     "127.0.0.1:0",
+				Forward:    sink.LocalAddr().String(),
+				RateBps:    1e12, // never the bottleneck
+				MaxPackets: 4096,
+				Shards:     shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fwd.Close()
+			conn, err := net.DialUDP("udp", nil, fwd.LocalAddr().(*net.UDPAddr))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			bc, err := newBatchConn(conn, defaultIOBatch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dg := Header{Class: 1, SentAt: time.Now()}.Encode(nil)
+			dg = append(dg, make([]byte, 100)...)
+			payloads := make([][]byte, defaultIOBatch)
+			for i := range payloads {
+				payloads[i] = dg
+			}
+			b.ResetTimer()
+			sent := 0
+			for sent < b.N {
+				k := b.N - sent
+				if k > len(payloads) {
+					k = len(payloads)
+				}
+				n, err := bc.WriteBatch(payloads[:k])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent += n
+			}
+			// Wait for ingress to quiesce: blasting an unpaced loopback
+			// socket overflows kernel buffers, so some datagrams never
+			// arrive — a plateau in Received, not Received == b.N, is the
+			// end of the measurement.
+			deadline := time.Now().Add(10 * time.Second)
+			var last uint64
+			lastChange := time.Now()
+			for time.Now().Before(deadline) {
+				st := fwd.Stats()
+				if st.Received >= uint64(b.N) {
+					break
+				}
+				if st.Received != last {
+					last = st.Received
+					lastChange = time.Now()
+				} else if time.Since(lastChange) > 250*time.Millisecond {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			b.StopTimer()
+			st := fwd.Stats()
+			b.ReportMetric(float64(st.Received)/b.Elapsed().Seconds(), "packets/sec")
+			if st.Received == 0 {
+				b.Fatal("forwarder received nothing")
+			}
+		})
+	}
+}
+
+// Multi-shard sockets join one REUSEPORT group: same port, N sockets —
+// or fall back honestly to a shared socket.
+func TestListenShardsGroup(t *testing.T) {
+	conns, shared, err := listenShards("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if shared {
+		if len(conns) != 1 {
+			t.Fatalf("shared mode with %d sockets", len(conns))
+		}
+		t.Skip("SO_REUSEPORT unavailable here; shared-socket fallback verified")
+	}
+	if len(conns) != 4 {
+		t.Fatalf("got %d sockets, want 4", len(conns))
+	}
+	port := conns[0].LocalAddr().(*net.UDPAddr).Port
+	for i, c := range conns {
+		if p := c.LocalAddr().(*net.UDPAddr).Port; p != port {
+			t.Fatalf("socket %d bound port %d, want %d", i, p, port)
+		}
+	}
+}
