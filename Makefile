@@ -6,9 +6,9 @@ GO ?= go
 # lower-variance numbers (e.g. BENCHTIME=5s).
 BENCHTIME ?= 1s
 
-.PHONY: all build vet test test-short race bench bench-save bench-cmp bench-fwd-save bench-fwd-cmp cover conformance certify golden-update experiments experiments-quick fuzz fuzz-smoke soak soak-sharded stress stress-full clean
+.PHONY: all build vet test test-short race bench bench-save bench-cmp bench-fwd-save bench-fwd-cmp cover conformance certify control golden-update experiments experiments-quick fuzz fuzz-smoke soak soak-sharded stress stress-full clean
 
-all: build vet test race conformance certify fuzz-smoke soak stress
+all: build vet test race conformance certify control fuzz-smoke soak stress
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,17 @@ conformance:
 certify:
 	$(GO) test -v -run 'TestAnalyticBounds|TestUnderstatedBurst' ./internal/conformance/
 
+# Closed-loop controller conformance (see TESTING.md): the convergence
+# suite (controller strictly beats uncontrolled under every chaos
+# timeline, an inverted gain strictly hurts, and the settled loop holds
+# every adjacent ratio within 10% of its DDP target), the chaos-harness
+# control invariants (in-band runs byte-identical, live ramp clean), and
+# the forwarder's staged retune seam. Verbose so the per-plan off/on
+# tail errors are visible.
+control:
+	$(GO) test -v -run 'TestController|TestInverted|TestQuantum|TestControl|TestSegmentWarmup' ./internal/control/ ./internal/chaos/
+	$(GO) test -v -run 'TestForwarderRetune|TestForwarderControl' ./internal/netio/
+
 # Regenerate the committed golden traces after an intentional behaviour
 # change. Review the diff before committing.
 golden-update:
@@ -100,12 +111,15 @@ fuzz:
 	$(GO) test -fuzz FuzzParseFloats -fuzztime 30s ./internal/cliutil/
 	$(GO) test -fuzz FuzzClassConfig -fuzztime 30s ./internal/classify/
 	$(GO) test -fuzz FuzzCurveOps -fuzztime 30s ./internal/netcalc/
+	$(GO) test -fuzz FuzzRetune -fuzztime 30s ./internal/core/
 
 # Short fuzzing passes over the scheduler data structures: the fifo ring,
-# the WTP selection scan, and the calendar queue vs the binary heap.
+# the WTP selection scan, the live retune seam, and the calendar queue vs
+# the binary heap.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDeque -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzWTPScan -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzRetune -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzCalendarQueue -fuzztime 10s ./internal/sim/
 	$(GO) test -fuzz FuzzTraceCSV -fuzztime 10s ./internal/traffic/
 	$(GO) test -fuzz FuzzClassConfig -fuzztime 10s ./internal/classify/

@@ -58,7 +58,7 @@ type experimentStat struct {
 
 var allExperiments = []string{
 	"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
-	"table1", "feasibility", "ablation", "loss", "moderate", "pathsched", "hpdg",
+	"table1", "feasibility", "ablation", "loss", "moderate", "pathsched", "hpdg", "control",
 }
 
 func main() {
@@ -260,6 +260,12 @@ func run(name string, scale experiments.Scale, out io.Writer) error {
 			return err
 		}
 		return experiments.WriteHPDGTSV(out, points)
+	case "control":
+		points, err := experiments.Control(scale)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteControlTSV(out, points)
 	default:
 		return fmt.Errorf("unknown experiment (want one of %s)", strings.Join(allExperiments, ", "))
 	}

@@ -20,10 +20,16 @@
 // by flow identity and re-marked. See testdata/classes.conf for a
 // worked example.
 //
+// With -adapt set, a closed-loop controller watches the measured
+// adjacent-class delay ratios and retunes the live scheduler parameters
+// whenever they drift from the SDP targets beyond a deadband — the
+// periodic stats line then reports the retune count and the current
+// parameter vector.
+//
 // Example:
 //
 //	pdfwd -listen 127.0.0.1:7000 -forward 127.0.0.1:7001 -rate 1000000 \
-//	      -metrics-addr 127.0.0.1:8080
+//	      -metrics-addr 127.0.0.1:8080 -adapt
 package main
 
 import (
@@ -53,7 +59,7 @@ func parseArgs(args []string) (options, error) {
 		forward     = fs.String("forward", "127.0.0.1:7001", "UDP egress destination")
 		rate        = fs.Float64("rate", 1e6, "egress rate, bits per second")
 		shards      = fs.Int("shards", 1, "parallel ingress shards (SO_REUSEPORT sockets; 1 = classic single-socket path)")
-		sched       = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|additive|pad|hpd|fcfs")
+		sched       = fs.String("sched", "wtp", "scheduler: wtp|bpr|strict|wfq|drr|iwrr|pf|additive|pad|hpd|fcfs")
 		sdpStr      = fs.String("sdp", "1,2,4,8", "scheduler differentiation parameters")
 		stats       = fs.Duration("stats", 5*time.Second, "stats print interval")
 		drain       = fs.Duration("drain", time.Second, "graceful drain budget on shutdown (0 = drop queued datagrams)")
@@ -61,6 +67,8 @@ func parseArgs(args []string) (options, error) {
 		classesPath = fs.String("classes", "", "traffic-class config file: classify untagged/unresolvable datagrams and derive SDPs from the declared DDPs")
 		distrust    = fs.String("distrust-class", "false", "with -classes: classify every datagram from flow identity, ignoring in-range header class bytes (true|false)")
 		flowTTL     = fs.Duration("flow-ttl", 2*time.Minute, "with -classes: idle eviction age for memoized flow→class decisions (0 = never expire)")
+		adapt       = fs.Bool("adapt", false, "closed-loop adaptation: retune the live scheduler parameters whenever the measured delay ratios drift from the SDP targets (requires a retunable scheduler)")
+		adaptEvery  = fs.Duration("adapt-interval", time.Second, "with -adapt: controller observation window")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
@@ -90,6 +98,8 @@ func parseArgs(args []string) (options, error) {
 		MetricsAddr:    *metricsAddr,
 		DistrustHeader: distrustClass,
 		FlowTTL:        *flowTTL,
+		Adapt:          *adapt,
+		AdaptInterval:  *adaptEvery,
 	}
 	if *classesPath != "" {
 		classes, err := pdds.LoadClassConfig(*classesPath)
@@ -133,9 +143,10 @@ func classTable(classes *pdds.ClassConfig, sdps []float64) string {
 }
 
 // summarize renders the periodic one-line status: aggregate counters plus
-// per-class departures/backlog/p99 and the live adjacent-class delay
-// ratios from the telemetry registry.
-func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []float64) string {
+// per-class departures/backlog/p99, the live adjacent-class delay ratios
+// from the telemetry registry, and — with -adapt — the controller's
+// retune activity and current parameter vector.
+func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []float64, adapt *pdds.ControlStats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "received=%d forwarded=%d dropped=%d bad-header=%d bad-class=%d queued=%d",
 		s.Received, s.Forwarded, s.Dropped, s.BadHeader, s.BadClass, s.Queued)
@@ -152,6 +163,16 @@ func summarize(s pdds.ForwarderStats, classes []pdds.LiveClassStats, ratios []fl
 			parts[i] = fmt.Sprintf("%.2f", r)
 		}
 		fmt.Fprintf(&b, " ratios=%s", strings.Join(parts, ","))
+	}
+	if adapt != nil {
+		fmt.Fprintf(&b, " retunes=%d", adapt.Retunes)
+		if adapt.Params != nil {
+			parts := make([]string, len(adapt.Params))
+			for i, p := range adapt.Params {
+				parts[i] = fmt.Sprintf("%g", p)
+			}
+			fmt.Fprintf(&b, " params=%s", strings.Join(parts, ","))
+		}
 	}
 	return b.String()
 }
@@ -189,6 +210,19 @@ func main() {
 		log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", addr)
 	}
 
+	if opts.cfg.Adapt {
+		log.Printf("closed-loop adaptation on: observing every %s, retuning %s when measured ratios drift",
+			opts.cfg.AdaptInterval, opts.cfg.Scheduler)
+	}
+
+	status := func() string {
+		var cs *pdds.ControlStats
+		if opts.cfg.Adapt {
+			s := fwd.ControlStats()
+			cs = &s
+		}
+		return summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios(), cs)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	ticker := time.NewTicker(opts.interval)
@@ -196,9 +230,9 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			fmt.Fprintln(os.Stderr, summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios()))
+			fmt.Fprintln(os.Stderr, status())
 		case <-sig:
-			log.Printf("shutting down: %s", summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios()))
+			log.Printf("shutting down: %s", status())
 			return
 		}
 	}

@@ -59,6 +59,16 @@ func TestParseArgs(t *testing.T) {
 	if _, err := parseArgs([]string{"-sdp", "not,numbers"}); err == nil {
 		t.Fatal("bad -sdp accepted")
 	}
+	if opts.cfg.Adapt {
+		t.Fatal("adaptation on by default")
+	}
+	opts, err = parseArgs([]string{"-adapt", "-adapt-interval", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.cfg.Adapt || opts.cfg.AdaptInterval != 250*time.Millisecond {
+		t.Fatalf("adapt flags not parsed: %+v", opts.cfg)
+	}
 }
 
 func TestParseArgsClasses(t *testing.T) {
@@ -217,7 +227,7 @@ func TestForwarderMetricsEndToEnd(t *testing.T) {
 	if !strings.Contains(string(body), "ratio 0/1") {
 		t.Fatalf("text view missing ratio line:\n%s", body)
 	}
-	line := summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios())
+	line := summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios(), nil)
 	if !strings.Contains(line, "received=160") || !strings.Contains(line, "ratios=") {
 		t.Fatalf("summary line %q", line)
 	}
@@ -368,8 +378,48 @@ func TestForwarderClassesEndToEnd(t *testing.T) {
 		t.Fatalf("delay ratio %v not consistent with DDP target 4", m.Ratios)
 	}
 
-	line := summarize(st, fwd.ClassStats(), fwd.DelayRatios())
+	line := summarize(st, fwd.ClassStats(), fwd.DelayRatios(), nil)
 	for _, want := range []string{"bad-class=0", "c0[bulk]=", "c1[interactive]="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("summary line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestForwarderAdaptEndToEnd starts a forwarder exactly as `pdfwd -adapt`
+// would and verifies the adaptation surface: the controller observes
+// windows, a manual retune lands in the stats line, and the summary
+// renders the retune fields.
+func TestForwarderAdaptEndToEnd(t *testing.T) {
+	recv := listenUDPRetry(t, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	defer recv.Close()
+
+	opts, err := parseArgs([]string{
+		"-listen", "127.0.0.1:0",
+		"-forward", recv.LocalAddr().String(),
+		"-rate", "1000000",
+		"-sdp", "1,4",
+		"-adapt", "-adapt-interval", "20ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := pdds.StartForwarderWithConfig(opts.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	if err := fwd.Retune([]float64{1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return fwd.ControlStats().Applied >= 1
+	}, "manual retune to install")
+
+	cs := fwd.ControlStats()
+	line := summarize(fwd.Stats(), fwd.ClassStats(), fwd.DelayRatios(), &cs)
+	for _, want := range []string{"retunes=", "params=1,8"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("summary line %q missing %q", line, want)
 		}

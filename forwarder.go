@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pdds/internal/classify"
+	"pdds/internal/control"
 	"pdds/internal/core"
 	"pdds/internal/netio"
 	"pdds/internal/telemetry"
@@ -90,6 +91,20 @@ type ForwarderConfig struct {
 	// decisions (0 = entries never expire). Long-idle flows are
 	// re-classified on their next datagram.
 	FlowTTL time.Duration
+	// Adapt enables the closed-loop DDP controller: a background loop
+	// snapshots the forwarder's per-class delay telemetry every
+	// AdaptInterval and, when the measured adjacent-class delay ratios
+	// deviate from the SDP targets beyond a deadband, retunes the live
+	// scheduler parameters (every shard, atomically between egress
+	// batches). Requires a retunable scheduler (WTP, HPD, DRR, IWRR or
+	// PF); FCFS fails at start. While the measured ratios stay in band
+	// the controller never touches the scheduler, so an Adapt forwarder
+	// serving conforming traffic behaves byte-identically to a plain one.
+	Adapt bool
+	// AdaptInterval is the controller's observation period (0 = 1s).
+	// Each window needs enough departures in every class to be judged,
+	// so shorter intervals only help when traffic is dense.
+	AdaptInterval time.Duration
 }
 
 // StartForwarder binds listen (e.g. "127.0.0.1:0"), forwarding scheduled
@@ -132,6 +147,10 @@ func StartForwarderWithConfig(cfg ForwarderConfig) (*Forwarder, error) {
 		MetricsAddr:    cfg.MetricsAddr,
 		Telemetry:      reg,
 		DistrustHeader: cfg.DistrustHeader,
+	}
+	if cfg.Adapt {
+		ncfg.Control = &control.Config{}
+		ncfg.ControlInterval = cfg.AdaptInterval
 	}
 	if cfg.Classes != nil {
 		cls, err := classify.New(cfg.Classes.inner, classify.FlowTableConfig{
@@ -240,6 +259,42 @@ func (f *Forwarder) ClassStats() []LiveClassStats {
 			ArrivedBytes: c.ArrivedBytes,
 			SentBytes:    c.DepartedBytes,
 		}
+	}
+	return out
+}
+
+// Retune replaces the live scheduler parameter vector (the SDPs, or DRR
+// quanta / IWRR weights) on every shard without disturbing queued
+// traffic: the vector is validated here and installed by the transmit
+// goroutine between egress batches. Returns an error for malformed
+// vectors or a non-retunable scheduler (FCFS). Safe for concurrent use,
+// and composes with Adapt — the controller simply steers from the new
+// vector's measured ratios.
+func (f *Forwarder) Retune(params []float64) error { return f.inner.Retune(params) }
+
+// ControlStats reports closed-loop adaptation activity: the controller's
+// window verdicts plus the retune seam's installation counters. With
+// ForwarderConfig.Adapt unset, only the seam counters (manual Retune
+// calls) are populated.
+type ControlStats struct {
+	// Windows is the number of telemetry windows the controller judged;
+	// Retunes of them triggered a parameter change, Held stayed inside
+	// the deadband, and Starved lacked the per-class departures to trust
+	// (those windows stay open and accumulate).
+	Windows, Retunes, Held, Starved uint64
+	// Applied counts parameter vectors actually installed into the
+	// schedulers (controller decisions plus manual Retune calls); Params
+	// is the last installed vector (nil before the first).
+	Applied uint64
+	Params  []float64
+}
+
+// ControlStats returns a snapshot of the adaptation counters.
+func (f *Forwarder) ControlStats() ControlStats {
+	rs := f.inner.RetuneStats()
+	out := ControlStats{Applied: rs.Applied, Params: rs.Params}
+	if cs, ok := f.inner.ControlStats(); ok {
+		out.Windows, out.Retunes, out.Held, out.Starved = cs.Windows, cs.Retunes, cs.Held, cs.Starved
 	}
 	return out
 }

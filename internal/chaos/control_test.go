@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pdds/internal/control"
+	"pdds/internal/core"
+	"pdds/internal/telemetry"
+	"pdds/internal/traffic"
+)
+
+// Satellite regression for the segment-warmup fix: a run whose segment
+// starts on target and drifts into violation in the tail. Whole-segment
+// averaging (the pre-fix judging) blends the healthy transient into the
+// verdict and passes; the warm-up exclusion judges the settled tail and
+// must flag it. The first half of this test fails on the pre-fix code.
+func TestSegmentWarmupUnmasksTailViolation(t *testing.T) {
+	plan := SimPlan{
+		Name:    "warmup-regression",
+		Kind:    core.KindWTP,
+		SDP:     []float64{1, 2, 4, 8},
+		Load:    traffic.PaperLoad(0.95),
+		Horizon: 200,
+		Warmup:  100,
+		Seed:    1,
+		Expect:  Expectation{MinDepartures: 100},
+	}
+	p := plan.withDefaults()
+	bounds := segmentBounds(p) // one segment: [100, 200)
+
+	reg := telemetry.NewWithSDP(p.SDP)
+	feed := func(deps int, delays ...float64) {
+		for class, d := range delays {
+			for k := 0; k < deps; k++ {
+				reg.Departure(class, 441, 0, d)
+			}
+		}
+	}
+	s0 := reg.Snapshot()
+	// Transient (first 15% of the segment): every adjacent ratio exactly
+	// on its target 2.
+	feed(1000, 40, 20, 10, 5)
+	warm := reg.Snapshot()
+	// Settled tail: pair 0 blows out to ratio 6 (3× target, far outside
+	// the heavy-load band [0.5,1.5]×target) while the other pairs hold.
+	feed(200, 60, 10, 5, 2.5)
+	s1 := reg.Snapshot()
+
+	segs := judgeSegments(p, bounds, []telemetry.Snapshot{s0, s1}, []telemetry.Snapshot{warm})
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	seg := segs[0]
+	if want := 100 + 0.15*100; math.Abs(seg.JudgedFrom-want) > 1e-9 {
+		t.Fatalf("JudgedFrom = %g, want %g", seg.JudgedFrom, want)
+	}
+	if !seg.Judged {
+		t.Fatalf("tail window not judged: %+v", seg)
+	}
+	if seg.Ok {
+		t.Fatalf("steady-state violation masked: tail ratios %v judged Ok", seg.Ratios)
+	}
+
+	// Pre-fix behaviour, reproduced by disabling the exclusion: the same
+	// counters pass, which is exactly the masking the fix removes.
+	pre := plan
+	pre.Expect.SegmentWarmup = -1
+	pp := pre.withDefaults()
+	segs = judgeSegments(pp, bounds, []telemetry.Snapshot{s0, s1}, nil)
+	if len(segs) != 1 || !segs[0].Judged {
+		t.Fatalf("whole-segment judging missing: %+v", segs)
+	}
+	if !segs[0].Ok {
+		t.Fatalf("whole-segment average unexpectedly caught the tail violation: %+v", segs[0])
+	}
+}
+
+// The noninterference guarantee at system level: a controller whose
+// deadband never trips must leave the run byte-identical to an
+// uncontrolled one — same packets, same delays, same segment verdicts.
+func TestControlInBandRunIsIdentical(t *testing.T) {
+	base := quickPlan(core.KindWTP, Timeline{Name: "none"})
+	off, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := base
+	held.Control = &control.Config{Deadband: 0.95} // nothing short of 95% deviation trips
+	on, err := RunSim(held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Retunes != 0 {
+		t.Fatalf("in-band controller retuned %d times", on.Retunes)
+	}
+	// Scrub the control-only report fields, then demand exact equality.
+	on.Retunes, on.ControlParams = 0, nil
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("in-band controlled run diverged:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
+// A live controller under the ramp plan must act through the seam and
+// leave every invariant intact.
+func TestControlledRampRunsClean(t *testing.T) {
+	horizon := 4 * testHorizon
+	plan := Plans(core.KindWTP, horizon, 77)[3] // load-ramp
+	plan.Control = &control.Config{MinDepartures: 50}
+	res, err := RunSim(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Retunes == 0 {
+		t.Fatal("controller never retuned across a 0.70→0.95 ramp")
+	}
+	if err := core.CheckRetuneParams(res.ControlParams, len(plan.SDP)); err != nil {
+		t.Fatalf("final control params invalid: %v", err)
+	}
+}
+
+// Control plans reject non-retunable schedulers up front.
+func TestControlRejectsNonRetunableKind(t *testing.T) {
+	plan := quickPlan(core.KindFCFS, Timeline{Name: "none"})
+	plan.Expect.Flat = true
+	plan.Control = &control.Config{}
+	if _, err := RunSim(plan); err == nil {
+		t.Fatal("FCFS control plan did not error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pdds/internal/classify"
+	"pdds/internal/control"
 	"pdds/internal/core"
 	"pdds/internal/link"
 	"pdds/internal/sim"
@@ -45,7 +46,16 @@ type SimPlan struct {
 	// FlowTTL is the flow table's idle eviction age in simulation time
 	// units (default Horizon/5; only used with FlowsPerClass > 0).
 	FlowTTL float64
-	Expect  Expectation
+	// Control, when non-nil, closes the DDP loop during the run: a
+	// controller observes the link's telemetry every ControlInterval and
+	// retunes the scheduler through the core.Retuner seam on out-of-band
+	// windows. The config's SDP and Kind default to the plan's. Nil runs
+	// exactly the uncontrolled harness.
+	Control *control.Config
+	// ControlInterval is the controller's observation window in
+	// simulation time units (default Horizon/40; only used with Control).
+	ControlInterval float64
+	Expect          Expectation
 }
 
 // Expectation parameterizes how a run's delay ratios are judged.
@@ -64,6 +74,13 @@ type Expectation struct {
 	// amount no work-conserving scheduler can differentiate away. Such
 	// plans stress conservation and pool integrity, not differentiation.
 	SkipRatios bool
+	// SegmentWarmup is the fraction of each segment excluded from the
+	// judged ratio window at the segment's start (default 0.15, negative
+	// disables). Every segment boundary is a perturbation — a load step,
+	// a mix shift, or a controller retune — and judging the whole-segment
+	// average lets the boundary transient mask a steady-state violation
+	// (and vice versa); the verdict must come from the settled tail.
+	SegmentWarmup float64
 }
 
 func (p SimPlan) withDefaults() SimPlan {
@@ -76,8 +93,27 @@ func (p SimPlan) withDefaults() SimPlan {
 	if p.Expect.MinDepartures == 0 {
 		p.Expect.MinDepartures = 500
 	}
+	if p.Expect.SegmentWarmup == 0 {
+		p.Expect.SegmentWarmup = 0.15
+	}
+	if p.Expect.SegmentWarmup < 0 {
+		p.Expect.SegmentWarmup = 0
+	}
 	if p.FlowsPerClass > 0 && p.FlowTTL == 0 {
 		p.FlowTTL = p.Horizon / 5
+	}
+	if p.Control != nil {
+		if p.ControlInterval == 0 {
+			p.ControlInterval = p.Horizon / 40
+		}
+		cc := *p.Control
+		if cc.SDP == nil {
+			cc.SDP = p.SDP
+		}
+		if cc.Kind == "" {
+			cc.Kind = p.Kind
+		}
+		p.Control = &cc
 	}
 	return p
 }
@@ -101,6 +137,17 @@ func (p SimPlan) Validate() error {
 	if pp.FlowsPerClass < 0 {
 		return fmt.Errorf("chaos: plan %q: flows per class %d must be >= 0", pp.Name, pp.FlowsPerClass)
 	}
+	if pp.Expect.SegmentWarmup >= 1 {
+		return fmt.Errorf("chaos: plan %q: segment warmup %g must be < 1", pp.Name, pp.Expect.SegmentWarmup)
+	}
+	if pp.Control != nil {
+		if err := pp.Control.Validate(); err != nil {
+			return fmt.Errorf("chaos: plan %q: %w", pp.Name, err)
+		}
+		if !(pp.ControlInterval > 0) || pp.ControlInterval >= pp.Horizon {
+			return fmt.Errorf("chaos: plan %q: control interval %g out of (0,horizon)", pp.Name, pp.ControlInterval)
+		}
+	}
 	if pp.FlowsPerClass == 0 {
 		for _, a := range pp.Timeline.Actions {
 			if a.Op == OpFlowChurn {
@@ -118,6 +165,10 @@ type Segment struct {
 	Start  float64 `json:"start"`
 	End    float64 `json:"end"`
 	RhoEff float64 `json:"rho_eff"`
+	// JudgedFrom is where the judged window actually starts: Start plus
+	// the segment warm-up exclusion (equal to Start when the exclusion
+	// is disabled). Ratios and Departures cover [JudgedFrom, End).
+	JudgedFrom float64 `json:"judged_from,omitempty"`
 	// Departures is the minimum per-class departure count in the segment
 	// (the judging gate).
 	Departures uint64    `json:"departures"`
@@ -151,6 +202,13 @@ type SimResult struct {
 	// PoolLeaked is allocated − (free + backlogged + in-flight) at the
 	// horizon; any nonzero value means a packet escaped the free list.
 	PoolLeaked int64 `json:"pool_leaked"`
+
+	// Retunes is the number of controller decisions applied through the
+	// retune seam (Control plans only).
+	Retunes uint64 `json:"retunes,omitempty"`
+	// ControlParams is the controller's final parameter vector (Control
+	// plans only).
+	ControlParams []float64 `json:"control_params,omitempty"`
 
 	// Flow-table exercise outcome (FlowsPerClass > 0 plans only).
 	FlowResident  int    `json:"flow_resident,omitempty"`
@@ -366,6 +424,30 @@ func (st *simState) retune(class int, src *traffic.Source) {
 	src.SetInter(st.spec.Inter(rate))
 }
 
+// controlRec drives the closed-loop controller from the engine clock:
+// every tick it hands the controller the registry's cumulative snapshot
+// and pushes any decision through the scheduler's retune seam.
+type controlRec struct {
+	reg     *telemetry.Registry
+	ctl     *control.Controller
+	sched   core.Scheduler
+	retunes uint64
+	errs    []string
+}
+
+func controlTick(arg any) bool {
+	cr := arg.(*controlRec)
+	did, err := cr.ctl.Apply(cr.sched, cr.reg.Snapshot())
+	if err != nil {
+		cr.errs = append(cr.errs, err.Error())
+		return false // a broken seam would repeat every tick; stop once
+	}
+	if did {
+		cr.retunes++
+	}
+	return true
+}
+
 // boundaryRec collects telemetry snapshots at segment boundaries.
 type boundaryRec struct {
 	reg   *telemetry.Registry
@@ -462,6 +544,19 @@ func RunSim(plan SimPlan) (*SimResult, error) {
 		engine.AtFunc(a.At, chaosApply, &boundAction{st: st, a: a})
 	}
 
+	var ctl *controlRec
+	if p.Control != nil {
+		c, cerr := control.New(*p.Control)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if _, ok := sched.(core.Retuner); !ok {
+			return nil, fmt.Errorf("chaos: plan %q: %s is not retunable", p.Name, p.Kind)
+		}
+		ctl = &controlRec{reg: reg, ctl: c, sched: sched}
+		engine.Every(p.ControlInterval, p.ControlInterval, controlTick, ctl)
+	}
+
 	// Segment boundaries: warmup, every action instant inside the judged
 	// window, and the horizon. Boundary snapshots are scheduled after the
 	// actions above, so at equal times the snapshot observes the
@@ -470,6 +565,14 @@ func RunSim(plan SimPlan) (*SimResult, error) {
 	rec := &boundaryRec{reg: reg}
 	for _, t := range bounds {
 		engine.AtFunc(t, boundarySnap, rec)
+	}
+	// Interior warm points: one snapshot per segment at the end of its
+	// warm-up exclusion, so judging can start from the settled part.
+	warmRec := &boundaryRec{reg: reg}
+	if frac := p.Expect.SegmentWarmup; frac > 0 {
+		for i := 0; i+1 < len(bounds); i++ {
+			engine.AtFunc(bounds[i]+frac*(bounds[i+1]-bounds[i]), boundarySnap, warmRec)
+		}
 	}
 
 	mono := &monoRec{reg: reg}
@@ -531,6 +634,14 @@ func RunSim(plan SimPlan) (*SimResult, error) {
 				fs.Resident, limit, fs.Evictions))
 		}
 	}
+	// Controller outcome: seam errors are violations, not silent stops.
+	if ctl != nil {
+		res.Retunes = ctl.retunes
+		res.ControlParams = ctl.ctl.Params()
+		for _, e := range ctl.errs {
+			res.Violations = append(res.Violations, "control: "+e)
+		}
+	}
 	// Telemetry must agree with the link's own accounting.
 	arr, dep, drops := reg.Snapshot().Totals()
 	if arr != res.Generated || dep != res.Departed || drops != res.Dropped {
@@ -539,7 +650,7 @@ func RunSim(plan SimPlan) (*SimResult, error) {
 			arr, dep, drops, res.Generated, res.Departed, res.Dropped))
 	}
 
-	res.Segments = judgeSegments(p, bounds, rec.snaps)
+	res.Segments = judgeSegments(p, bounds, rec.snaps, warmRec.snaps)
 	for _, seg := range res.Segments {
 		if seg.Judged && !seg.Ok {
 			res.Violations = append(res.Violations, fmt.Sprintf(
@@ -568,11 +679,18 @@ func segmentBounds(p SimPlan) []float64 {
 }
 
 // judgeSegments computes each segment's interval ratios from the boundary
-// snapshots and judges them against the load-regime window.
-func judgeSegments(p SimPlan, bounds []float64, snaps []telemetry.Snapshot) []Segment {
+// snapshots and judges them against the load-regime window. When the
+// plan's segment warm-up exclusion is active, warmSnaps carries one
+// interior snapshot per segment (taken at Start + warmup·(End−Start)) and
+// the judged interval is [warm point, End) — the settled tail — instead
+// of the whole segment, whose boundary transient can average a
+// steady-state violation away.
+func judgeSegments(p SimPlan, bounds []float64, snaps, warmSnaps []telemetry.Snapshot) []Segment {
 	if len(snaps) != len(bounds) || len(snaps) < 2 {
 		return nil
 	}
+	frac := p.Expect.SegmentWarmup
+	useWarm := frac > 0 && len(warmSnaps) == len(bounds)-1
 	// Replay the timeline arithmetically to know each segment's regime.
 	acts := append([]Action(nil), p.Timeline.Actions...)
 	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
@@ -588,12 +706,18 @@ func judgeSegments(p SimPlan, bounds []float64, snaps []telemetry.Snapshot) []Se
 			reg.apply(acts[next])
 			next++
 		}
-		iv := snaps[i+1].Sub(snaps[i])
+		base, judgedFrom := snaps[i], start
+		if useWarm {
+			base = warmSnaps[i]
+			judgedFrom = start + frac*(end-start)
+		}
+		iv := snaps[i+1].Sub(base)
 		seg := Segment{
-			Start:  start,
-			End:    end,
-			RhoEff: reg.rhoEff(baseRates, meanSize, p.LinkRate),
-			Ratios: iv.Ratios,
+			Start:      start,
+			End:        end,
+			JudgedFrom: judgedFrom,
+			RhoEff:     reg.rhoEff(baseRates, meanSize, p.LinkRate),
+			Ratios:     iv.Ratios,
 		}
 		// The judging gate is the scarcest class's departure count.
 		seg.Departures = ^uint64(0)

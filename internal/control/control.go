@@ -1,0 +1,352 @@
+// Package control closes the loop the paper leaves open: §3 assumes the
+// operator picks DDPs offline, but the dynamics results (§5) show measured
+// delay ratios drifting from the targets in moderate load and across
+// class-mix shifts. The Controller here consumes telemetry delay-ratio
+// windows (the streaming R_D metric), computes the deviation from the
+// configured DDP targets, and emits retuned scheduler parameter vectors
+// for the core.Retuner seam — multiplicatively steering the adjacent
+// parameter ratios toward the point where the *measured* ratios meet the
+// targets.
+//
+// Stability contract (see DESIGN.md §3i): a deadband makes small
+// deviations produce no decision at all — an uncontrolled run and a
+// controlled run with in-band telemetry are byte-identical, because the
+// controller never touches the scheduler. Steps are bounded
+// multiplicatively per window, parameter ratios are clamped to
+// [1, MaxRatio] so the vector stays a valid nondecreasing SDP vector, and
+// a post-retune cooldown (in windows) keeps the controller from chasing
+// its own transient.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"pdds/internal/core"
+	"pdds/internal/telemetry"
+)
+
+// Config parameterizes a Controller. The zero value of every field except
+// SDP selects a sensible default.
+type Config struct {
+	// SDP is the operator's configured parameter vector; the DDP ratio
+	// targets derive from it (target[i] = SDP[i+1]/SDP[i]) and its first
+	// entry anchors the scale of every emitted vector.
+	SDP []float64
+
+	// Kind, when set, names the scheduler family the emitted vectors
+	// feed. For core.KindDRR the per-window step size comes from the
+	// convex quantum line search (QuantumStep) instead of the fixed
+	// Gain — Mukherjee et al.'s convexity result for the quantum
+	// assignment objective is what makes the 1-D search sufficient.
+	Kind core.Kind
+
+	// Gain is the multiplicative step exponent α: each out-of-band
+	// adjacent ratio is corrected by (measured/target)^(−α). Negative
+	// gains invert the loop (used by the falsifiability tests). Default
+	// 0.5; |Gain| must be ≤ 2.
+	Gain float64
+
+	// Deadband is the hysteresis half-width: windows whose worst relative
+	// ratio deviation stays within it produce no decision. Default 0.05.
+	Deadband float64
+
+	// MaxStep bounds a single window's multiplicative correction per
+	// adjacent pair to [1/(1+MaxStep), 1+MaxStep]. Default 0.25.
+	MaxStep float64
+
+	// Cooldown is the number of observation windows suppressed after each
+	// retune, so a decision's own transient drains from the telemetry
+	// before the next one. Default 1.
+	Cooldown int
+
+	// MinDepartures is the per-class departure count both classes of a
+	// pair need inside the window before that pair's ratio is trusted.
+	// The controller acts on complete windows only — every adjacent pair
+	// trusted — so an incomplete window is not discarded: its samples
+	// stay in the open window, which keeps growing until the scarcest
+	// class clears the gate. (A class idled indefinitely therefore parks
+	// the controller; size MinDepartures for the thinnest class you want
+	// tracked.) Default 200.
+	MinDepartures uint64
+
+	// MaxRatio caps each adjacent parameter ratio, bounding how much
+	// differentiation the controller may dial in. Default 64.
+	MaxRatio float64
+
+	// MovePenalty is the λ of the quantum line-search objective
+	// J(α) = (1−α)²·E + λ·α² (only used when Kind selects the search).
+	// Default 0.05.
+	MovePenalty float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gain == 0 {
+		c.Gain = 0.5
+	}
+	if c.Deadband == 0 {
+		c.Deadband = 0.05
+	}
+	if c.MaxStep == 0 {
+		c.MaxStep = 0.25
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 1
+	}
+	if c.MinDepartures == 0 {
+		c.MinDepartures = 200
+	}
+	if c.MaxRatio == 0 {
+		c.MaxRatio = 64
+	}
+	if c.MovePenalty == 0 {
+		c.MovePenalty = 0.05
+	}
+	return c
+}
+
+// Validate checks the configuration without defaulting zero fields.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if err := core.CheckRetuneParams(cc.SDP, len(cc.SDP)); err != nil {
+		return fmt.Errorf("control: %w", err)
+	}
+	if len(cc.SDP) < 2 {
+		return fmt.Errorf("control: need at least 2 classes to differentiate, got %d", len(cc.SDP))
+	}
+	if math.Abs(cc.Gain) > 2 || math.IsNaN(cc.Gain) {
+		return fmt.Errorf("control: gain %g out of [-2,2]", cc.Gain)
+	}
+	if cc.Deadband < 0 || cc.Deadband >= 1 {
+		return fmt.Errorf("control: deadband %g out of [0,1)", cc.Deadband)
+	}
+	if cc.MaxStep <= 0 || cc.MaxStep > 4 {
+		return fmt.Errorf("control: max step %g out of (0,4]", cc.MaxStep)
+	}
+	if cc.Cooldown < 0 {
+		return fmt.Errorf("control: cooldown %d must be >= 0", cc.Cooldown)
+	}
+	if cc.MaxRatio < 1 {
+		return fmt.Errorf("control: max ratio %g must be >= 1", cc.MaxRatio)
+	}
+	if cc.MovePenalty <= 0 {
+		return fmt.Errorf("control: move penalty %g must be > 0", cc.MovePenalty)
+	}
+	return nil
+}
+
+// Decision is one emitted retune.
+type Decision struct {
+	// Params is the full parameter vector to feed core.Retuner.Retune
+	// (fresh copy, caller-owned).
+	Params []float64
+	// Alpha is the step exponent actually applied (the fixed gain, or
+	// the quantum line-search optimum for DRR).
+	Alpha float64
+	// Deviation is the worst relative adjacent-ratio deviation
+	// |measured/target − 1| that triggered the decision.
+	Deviation float64
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	// Windows is the number of Observe calls.
+	Windows uint64
+	// Retunes is the number of decisions emitted.
+	Retunes uint64
+	// Held counts windows with measurable pairs whose worst deviation
+	// stayed inside the deadband.
+	Held uint64
+	// Starved counts incomplete windows (some pair below MinDepartures)
+	// left open to keep accumulating.
+	Starved uint64
+	// Cooling counts windows swallowed by the post-retune cooldown.
+	Cooling uint64
+}
+
+// Controller is the feedback loop. It is not safe for concurrent use; the
+// chaos harness drives it from the simulation thread and the forwarder
+// from its control goroutine.
+type Controller struct {
+	cfg     Config
+	targets []float64 // DDP ratio targets from the configured SDPs
+	ratios  []float64 // current adjacent parameter ratios p_i = param[i+1]/param[i]
+	prev    telemetry.Snapshot
+	primed  bool
+	cool    int
+	stats   Stats
+	scratch []float64 // per-pair corrections, reused across windows
+}
+
+// New returns a controller for the given configuration.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := len(cfg.SDP)
+	c := &Controller{
+		cfg:     cfg,
+		targets: make([]float64, n-1),
+		ratios:  make([]float64, n-1),
+		scratch: make([]float64, n-1),
+	}
+	for i := 0; i+1 < n; i++ {
+		c.targets[i] = cfg.SDP[i+1] / cfg.SDP[i]
+		c.ratios[i] = cfg.SDP[i+1] / cfg.SDP[i]
+	}
+	return c, nil
+}
+
+// Stats returns the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Params returns the controller's current parameter vector (fresh copy).
+func (c *Controller) Params() []float64 {
+	out := make([]float64, len(c.cfg.SDP))
+	c.fill(out)
+	return out
+}
+
+// fill writes the vector implied by the current ratios, anchored at the
+// configured SDP[0].
+func (c *Controller) fill(out []float64) {
+	out[0] = c.cfg.SDP[0]
+	for i, r := range c.ratios {
+		out[i+1] = out[i] * r
+	}
+}
+
+// Observe feeds one cumulative telemetry snapshot. The first call primes
+// the window base and never decides; each later call evaluates the
+// interval since the last consumed snapshot (telemetry.Snapshot.Sub — the
+// streaming R_D window; starved windows stay open and accumulate into the
+// next call) and returns a Decision when, and only when, the
+// worst trusted adjacent-ratio deviation exceeds the deadband outside a
+// cooldown. When ok is false the scheduler must not be touched: that is
+// the byte-identical guarantee for in-band runs.
+func (c *Controller) Observe(snap telemetry.Snapshot) (d Decision, ok bool) {
+	if !c.primed {
+		c.prev, c.primed = snap, true
+		return Decision{}, false
+	}
+	win := snap.Sub(c.prev)
+	c.stats.Windows++
+
+	if c.cool > 0 {
+		c.cool--
+		c.stats.Cooling++
+		c.prev = snap
+		return Decision{}, false
+	}
+
+	// Per-pair multiplicative error q_i = measured/target. The window is
+	// judged only when every pair is trusted — both classes departed
+	// enough packets — so a correction never skews some pairs while the
+	// sparse ones sit out.
+	worst, pairs := 0.0, 0
+	for i := range c.targets {
+		c.scratch[i] = 1
+		if i >= len(win.Ratios) || win.Ratios[i] == 0 || c.targets[i] == 0 {
+			continue
+		}
+		if win.Classes[i].Departures < c.cfg.MinDepartures ||
+			win.Classes[i+1].Departures < c.cfg.MinDepartures {
+			continue
+		}
+		q := win.Ratios[i] / c.targets[i]
+		c.scratch[i] = q
+		pairs++
+		if dev := math.Abs(q - 1); dev > worst {
+			worst = dev
+		}
+	}
+	if pairs < len(c.targets) {
+		// Starved: leave the window open so the sparse classes keep
+		// accumulating departures instead of being thrown away — the
+		// next Observe judges the union.
+		c.stats.Starved++
+		return Decision{}, false
+	}
+	c.prev = snap
+	if worst <= c.cfg.Deadband {
+		c.stats.Held++
+		return Decision{}, false
+	}
+
+	// Step size: fixed gain, except DRR where the convex line search
+	// picks the step from the window's squared log error.
+	alpha := c.cfg.Gain
+	if c.cfg.Kind == core.KindDRR {
+		var e float64
+		for _, q := range c.scratch {
+			if q != 1 {
+				l := math.Log(q)
+				e += l * l
+			}
+		}
+		step := QuantumStep(e, c.cfg.MovePenalty, math.Abs(c.cfg.Gain))
+		alpha = math.Copysign(step, c.cfg.Gain)
+	}
+
+	// Apply q^(−α) per pair, bounded per window and clamped so the
+	// parameter vector stays valid (each ratio ≥ 1, ≤ MaxRatio).
+	lo, hi := 1/(1+c.cfg.MaxStep), 1+c.cfg.MaxStep
+	for i, q := range c.scratch {
+		if q == 1 {
+			continue
+		}
+		m := math.Pow(q, -alpha)
+		if m < lo {
+			m = lo
+		} else if m > hi {
+			m = hi
+		}
+		r := c.ratios[i] * m
+		if r < 1 {
+			r = 1
+		} else if r > c.cfg.MaxRatio {
+			r = c.cfg.MaxRatio
+		}
+		c.ratios[i] = r
+	}
+	c.cool = c.cfg.Cooldown
+	c.stats.Retunes++
+
+	d = Decision{Params: c.Params(), Alpha: alpha, Deviation: worst}
+	return d, true
+}
+
+// Apply is the single-scheduler convenience loop body: Observe, and on a
+// decision push the new parameters through the core retune seam. It
+// reports whether a retune happened.
+func (c *Controller) Apply(s core.Scheduler, snap telemetry.Snapshot) (bool, error) {
+	d, ok := c.Observe(snap)
+	if !ok {
+		return false, nil
+	}
+	if err := core.Retune(s, d.Params); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// WindowError is the judged post-transient metric of the convergence
+// suite: the mean absolute log deviation of measured adjacent ratios from
+// their targets, over pairs where both exist, plus the pair count.
+// 0 means every measured ratio sits exactly on its DDP target.
+func WindowError(ratios, targets []float64) (float64, int) {
+	var sum float64
+	n := 0
+	for i, r := range ratios {
+		if r == 0 || i >= len(targets) || targets[i] == 0 {
+			continue
+		}
+		sum += math.Abs(math.Log(r / targets[i]))
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}

@@ -1,0 +1,307 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"pdds/internal/core"
+	"pdds/internal/telemetry"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{SDP: []float64{1, 2, 4, 8}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SDP: nil},
+		{SDP: []float64{1}},                        // one class
+		{SDP: []float64{2, 1}},                     // decreasing
+		{SDP: []float64{0, 1}},                     // nonpositive
+		{SDP: []float64{1, 2}, Gain: 3},            // gain too hot
+		{SDP: []float64{1, 2}, Gain: math.NaN()},   // gain NaN
+		{SDP: []float64{1, 2}, Deadband: 1},        // deadband out of range
+		{SDP: []float64{1, 2}, Deadband: -0.1},     //
+		{SDP: []float64{1, 2}, MaxStep: 5},         // step out of range
+		{SDP: []float64{1, 2}, MaxStep: -1},        //
+		{SDP: []float64{1, 2}, Cooldown: -1},       //
+		{SDP: []float64{1, 2}, MaxRatio: 0.5},      //
+		{SDP: []float64{1, 2}, MovePenalty: -0.05}, //
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+}
+
+func TestQuantumStepMatchesClosedForm(t *testing.T) {
+	for _, e := range []float64{1e-4, 0.01, 0.1, 0.48, 1, 10} {
+		for _, lambda := range []float64{0.01, 0.05, 0.5, 2} {
+			for _, max := range []float64{0.25, 0.5, 1, 2} {
+				got := QuantumStep(e, lambda, max)
+				want := quantumClosedForm(e, lambda, max)
+				if math.Abs(got-want) > 1e-6 {
+					t.Errorf("QuantumStep(%g,%g,%g) = %.9f, closed form %.9f", e, lambda, max, got, want)
+				}
+			}
+		}
+	}
+	if QuantumStep(0, 0.05, 1) != 0 || QuantumStep(-1, 0.05, 1) != 0 {
+		t.Error("zero/negative error must yield zero step")
+	}
+	if QuantumStep(1, 0, 0.5) != 0.5 {
+		t.Error("zero penalty must yield the full step")
+	}
+}
+
+// window records one observation window into reg: deps departures per
+// class at the given per-class delays.
+func window(reg *telemetry.Registry, delays []float64, deps int) {
+	for class, d := range delays {
+		for k := 0; k < deps; k++ {
+			reg.Departure(class, 441, 0, d)
+		}
+	}
+}
+
+func newTestController(t *testing.T, cfg Config) (*Controller, *telemetry.Registry) {
+	t.Helper()
+	if cfg.SDP == nil {
+		cfg.SDP = []float64{1, 2, 4, 8}
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewWithSDP(cfg.SDP)
+	c.Observe(reg.Snapshot()) // prime the window base
+	return c, reg
+}
+
+// In-band windows must produce no decision at all — the byte-identical
+// guarantee rests on this.
+func TestDeadbandHolds(t *testing.T) {
+	c, reg := newTestController(t, Config{Deadband: 0.10})
+	// Delays exactly on target (ratios 2,2,2), then 6% off — both inside
+	// the 10% band.
+	for _, delays := range [][]float64{{8, 4, 2, 1}, {8 * 1.06, 4, 2, 1}} {
+		window(reg, delays, 300)
+		if _, ok := c.Observe(reg.Snapshot()); ok {
+			t.Fatalf("deadband breached by delays %v", delays)
+		}
+	}
+	st := c.Stats()
+	if st.Held != 2 || st.Retunes != 0 {
+		t.Fatalf("stats = %+v, want 2 held, 0 retunes", st)
+	}
+	if got := c.Params(); !eq(got, []float64{1, 2, 4, 8}) {
+		t.Fatalf("params drifted to %v with no decision", got)
+	}
+}
+
+// An undershot ratio (measured < target, WTP's moderate-load signature)
+// must widen the corresponding parameter ratio, and only that one.
+func TestUndershootWidensRatio(t *testing.T) {
+	c, reg := newTestController(t, Config{Gain: 1})
+	// Pair 0 measured ratio 1.5 vs target 2; pairs 1,2 on target.
+	window(reg, []float64{6, 4, 2, 1}, 300)
+	d, ok := c.Observe(reg.Snapshot())
+	if !ok {
+		t.Fatal("25% deviation produced no decision")
+	}
+	if math.Abs(d.Deviation-0.25) > 1e-9 {
+		t.Fatalf("deviation = %g, want 0.25", d.Deviation)
+	}
+	// q = 0.75, gain 1 ⇒ ratio 2/0.75 ≈ 2.667, but MaxStep 0.25 clamps
+	// the factor to 1.25 ⇒ ratio 2.5.
+	want := []float64{1, 2.5, 5, 10}
+	if !approxEq(d.Params, want, 1e-9) {
+		t.Fatalf("params = %v, want %v", d.Params, want)
+	}
+}
+
+// An overshot ratio narrows, clamped at ratio 1 (the vector must stay
+// nondecreasing, never inverted).
+func TestOvershootNeverInverts(t *testing.T) {
+	c, reg := newTestController(t, Config{SDP: []float64{1, 1.05, 1.1025, 1.157625}, Gain: 2, MaxStep: 4})
+	// Massive overshoot on every pair: measured ratios 4 vs target 1.05.
+	for i := 0; i < 6; i++ {
+		window(reg, []float64{64, 16, 4, 1}, 300)
+		c.Observe(reg.Snapshot())
+		window(reg, []float64{64, 16, 4, 1}, 300) // swallow cooldown
+		c.Observe(reg.Snapshot())
+	}
+	p := c.Params()
+	for i := 0; i+1 < len(p); i++ {
+		if p[i+1] < p[i] {
+			t.Fatalf("params inverted: %v", p)
+		}
+	}
+	if err := core.CheckRetuneParams(p, len(p)); err != nil {
+		t.Fatalf("controller emitted an invalid vector: %v", err)
+	}
+}
+
+func TestCooldownSwallowsWindows(t *testing.T) {
+	c, reg := newTestController(t, Config{Cooldown: 2})
+	offTarget := []float64{6, 4, 2, 1}
+	window(reg, offTarget, 300)
+	if _, ok := c.Observe(reg.Snapshot()); !ok {
+		t.Fatal("first deviation produced no decision")
+	}
+	for k := 0; k < 2; k++ {
+		window(reg, offTarget, 300)
+		if _, ok := c.Observe(reg.Snapshot()); ok {
+			t.Fatalf("cooldown window %d produced a decision", k)
+		}
+	}
+	window(reg, offTarget, 300)
+	if _, ok := c.Observe(reg.Snapshot()); !ok {
+		t.Fatal("post-cooldown deviation produced no decision")
+	}
+	st := c.Stats()
+	if st.Cooling != 2 || st.Retunes != 2 {
+		t.Fatalf("stats = %+v, want 2 cooling, 2 retunes", st)
+	}
+}
+
+// Starved windows (below MinDepartures) must not decide, no matter how
+// wild their ratios look.
+func TestStarvedWindowIgnored(t *testing.T) {
+	c, reg := newTestController(t, Config{MinDepartures: 200})
+	window(reg, []float64{100, 1, 1, 1}, 50)
+	if _, ok := c.Observe(reg.Snapshot()); ok {
+		t.Fatal("starved window produced a decision")
+	}
+	if st := c.Stats(); st.Starved != 1 {
+		t.Fatalf("stats = %+v, want 1 starved", st)
+	}
+}
+
+// The ratio caps: a runaway deviation may never push a pair ratio past
+// MaxRatio, and the emitted vector always passes the seam's validation.
+func TestMaxRatioCap(t *testing.T) {
+	c, reg := newTestController(t, Config{Gain: 2, MaxStep: 4, MaxRatio: 16, Cooldown: 0, Deadband: 0.01})
+	for i := 0; i < 40; i++ {
+		window(reg, []float64{8, 4, 2, 1}, 300) // every ratio 2 vs target... widen pair 0 only
+		window(reg, []float64{100, 1, 1, 1}, 300)
+		if d, ok := c.Observe(reg.Snapshot()); ok {
+			if err := core.CheckRetuneParams(d.Params, 4); err != nil {
+				t.Fatalf("iteration %d: invalid vector %v: %v", i, d.Params, err)
+			}
+		}
+	}
+	p := c.Params()
+	for i := 0; i+1 < len(p); i++ {
+		if r := p[i+1] / p[i]; r > 16+1e-9 {
+			t.Fatalf("pair %d ratio %g exceeds MaxRatio 16 (params %v)", i, r, p)
+		}
+	}
+}
+
+// The DRR path must take its step from the convex search: a marginal
+// error yields a much smaller step than the same error under fixed gain.
+func TestDRRStepUsesQuantumSearch(t *testing.T) {
+	mk := func(kind core.Kind) float64 {
+		c, reg := newTestController(t, Config{Kind: kind, Gain: 1, Deadband: 0.05})
+		window(reg, []float64{6.8, 4, 2, 1}, 300) // pair-0 ratio 1.7, q = 0.85
+		d, ok := c.Observe(reg.Snapshot())
+		if !ok {
+			t.Fatalf("%s: no decision", kind)
+		}
+		return d.Alpha
+	}
+	fixed := mk(core.KindWTP)
+	searched := mk(core.KindDRR)
+	if fixed != 1 {
+		t.Fatalf("fixed-gain alpha = %g, want 1", fixed)
+	}
+	l := math.Log(0.85)
+	want := quantumClosedForm(l*l, 0.05, 1)
+	if math.Abs(searched-want) > 1e-6 {
+		t.Fatalf("DRR alpha = %g, want closed form %g", searched, want)
+	}
+	if searched >= fixed {
+		t.Fatalf("marginal error: searched step %g not smaller than fixed %g", searched, fixed)
+	}
+}
+
+// Apply pushes a decision through the live seam and the scheduler's
+// parameters actually move.
+func TestApplyRetunesScheduler(t *testing.T) {
+	c, reg := newTestController(t, Config{Gain: 1})
+	s := core.NewWTP([]float64{1, 2, 4, 8})
+	window(reg, []float64{6, 4, 2, 1}, 300)
+	did, err := c.Apply(s, reg.Snapshot())
+	if err != nil || !did {
+		t.Fatalf("Apply = (%v, %v), want retune", did, err)
+	}
+	if got := s.SDP(1) / s.SDP(0); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("scheduler pair-0 ratio = %g after Apply, want 2.5", got)
+	}
+	// A non-retunable scheduler surfaces the seam error.
+	c2, reg2 := newTestController(t, Config{Gain: 1})
+	window(reg2, []float64{6, 4, 2, 1}, 300)
+	if _, err := c2.Apply(core.NewFCFS(4), reg2.Snapshot()); err == nil {
+		t.Fatal("Apply to FCFS did not error")
+	}
+}
+
+func TestWindowError(t *testing.T) {
+	targets := []float64{2, 2, 2}
+	if e, n := WindowError([]float64{2, 2, 2}, targets); e != 0 || n != 3 {
+		t.Fatalf("on-target error = (%g,%d), want (0,3)", e, n)
+	}
+	e, n := WindowError([]float64{1, 0, 4}, targets)
+	if n != 2 {
+		t.Fatalf("pairs = %d, want 2 (zero ratio skipped)", n)
+	}
+	if want := math.Ln2; math.Abs(e-want) > 1e-12 {
+		t.Fatalf("error = %g, want ln 2 = %g", e, want)
+	}
+	if e, n := WindowError(nil, targets); e != 0 || n != 0 {
+		t.Fatal("empty ratios must yield (0,0)")
+	}
+}
+
+func eq(a, b []float64) bool { return approxEq(a, b, 0) }
+
+func approxEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkControllerObserve(b *testing.B) {
+	sdp := []float64{1, 2, 4, 8}
+	c, err := New(Config{SDP: sdp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewWithSDP(sdp)
+	c.Observe(reg.Snapshot())
+	delays := []float64{6, 4, 2, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window(reg, delays, 1)
+		c.Observe(reg.Snapshot())
+	}
+}
+
+func BenchmarkQuantumStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		QuantumStep(0.48, 0.05, 1)
+	}
+}

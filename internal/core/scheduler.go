@@ -66,11 +66,12 @@ const (
 	KindHPD      Kind = "hpd"      // hybrid WTP/PAD (§7 follow-up)
 	KindDRR      Kind = "drr"      // deficit round robin (capacity differentiation)
 	KindIWRR     Kind = "iwrr"     // interleaved weighted round robin (capacity differentiation)
+	KindPF       Kind = "pf"       // EWMA proportional fair (capacity differentiation)
 )
 
 // Kinds lists every supported scheduler kind.
 func Kinds() []Kind {
-	return []Kind{KindWTP, KindBPR, KindFCFS, KindStrict, KindWFQ, KindAdditive, KindPAD, KindHPD, KindDRR, KindIWRR}
+	return []Kind{KindWTP, KindBPR, KindFCFS, KindStrict, KindWFQ, KindAdditive, KindPAD, KindHPD, KindDRR, KindIWRR, KindPF}
 }
 
 // New constructs a scheduler of the given kind for len(sdp) classes.
@@ -102,6 +103,8 @@ func New(kind Kind, sdp []float64, rate float64) (Scheduler, error) {
 		return NewDRR(sdp), nil
 	case KindIWRR:
 		return NewIWRR(sdp), nil
+	case KindPF:
+		return NewPF(sdp), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheduler kind %q", kind)
 	}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pdds/internal/chaos"
+	"pdds/internal/control"
+	"pdds/internal/core"
+	"pdds/internal/traffic"
+)
+
+// The control experiment quantifies what the closed-loop controller buys:
+// for each adaptation adversary (a load ramp into the moderate band where
+// WTP's ratios sag, and a class-mix shift at heavy load) it runs the same
+// seeded scenario with the controller off and on, and reports the mean
+// absolute log deviation of the adjacent-class delay ratios from the DDP
+// targets over the post-transient tail. A working loop shows on_err well
+// below off_err; retunes counts its decisions.
+
+// ControlPoint is one plan × scheduler outcome.
+type ControlPoint struct {
+	Plan string
+	Kind core.Kind
+	// OffErr and OnErr are the tail ratio errors (mean |log(R/target)|
+	// over adjacent pairs) without and with the controller.
+	OffErr float64
+	OnErr  float64
+	// Retunes counts the controller's applied decisions in the on run.
+	Retunes uint64
+}
+
+// ControlPlans and ControlKinds are the swept scenarios and disciplines.
+var (
+	ControlPlans = []string{"load-ramp", "class-shift"}
+	ControlKinds = []core.Kind{core.KindWTP, core.KindHPD}
+)
+
+// controlPlan builds one adversary scenario at horizon H. The
+// perturbations land in the first half so the judged tail is a settled
+// regime (mirroring the convergence test suite in internal/control).
+func controlPlan(kind core.Kind, name string, H float64) chaos.SimPlan {
+	p := chaos.SimPlan{
+		Name:    name,
+		Kind:    kind,
+		SDP:     []float64{1, 2, 4, 8},
+		Horizon: H,
+		Warmup:  0.1 * H,
+		Seed:    BaseSeed,
+	}
+	switch name {
+	case "load-ramp":
+		p.Load = traffic.PaperLoad(0.60)
+		p.Timeline = chaos.Timeline{
+			Name:    "ramp-0.60-to-0.85",
+			Actions: chaos.Ramp(0.2*H, 0.5*H, 6, 1.0, 0.85/0.60),
+		}
+	case "class-shift":
+		p.Load = traffic.PaperLoad(0.90)
+		p.Timeline = chaos.Timeline{Name: "mix-shift", Actions: []chaos.Action{
+			{At: 0.4 * H, Op: chaos.OpScaleClass, Class: 0, Factor: 0.5},
+			{At: 0.4 * H, Op: chaos.OpScaleClass, Class: 3, Factor: 3.0},
+		}}
+	default:
+		panic("experiments: unknown control plan " + name)
+	}
+	// Report-only run: the ratio-window bands are the chaos suite's
+	// verdicts; here the tail error itself is the measurement.
+	p.Expect.Flat = false
+	return p
+}
+
+// controlTailErr runs one scenario and returns the final judged
+// segment's ratio error plus the retune count.
+func controlTailErr(plan chaos.SimPlan) (float64, uint64, error) {
+	res, err := chaos.RunSim(plan)
+	if err != nil {
+		return 0, 0, err
+	}
+	countRun(res.Departed)
+	if len(res.Segments) == 0 {
+		return 0, 0, fmt.Errorf("experiments: %s: no segments", plan.Name)
+	}
+	last := res.Segments[len(res.Segments)-1]
+	e, pairs := control.WindowError(last.Ratios, res.TargetRatios)
+	if pairs == 0 {
+		return 0, 0, fmt.Errorf("experiments: %s: no measurable tail pairs", plan.Name)
+	}
+	return e, res.Retunes, nil
+}
+
+// Control runs the sweep: every (plan, kind) pair's off and on runs are
+// independent jobs fanned out over the shared worker pool.
+func Control(scale Scale) ([]ControlPoint, error) {
+	n := len(ControlPlans) * len(ControlKinds)
+	offs := make([]float64, n)
+	ons := make([]float64, n)
+	retunes := make([]uint64, n)
+	err := ForEach(2*n, func(i int) error {
+		ci, which := i/2, i%2
+		plan := controlPlan(ControlKinds[ci%len(ControlKinds)],
+			ControlPlans[ci/len(ControlKinds)], scale.Horizon)
+		if which == 1 {
+			plan.Control = &control.Config{
+				Gain:          0.5,
+				Deadband:      0.05,
+				MaxStep:       0.25,
+				MinDepartures: 100,
+			}
+			plan.ControlInterval = scale.Horizon / 30
+		}
+		e, r, err := controlTailErr(plan)
+		if err != nil {
+			return err
+		}
+		if which == 0 {
+			offs[ci] = e
+		} else {
+			ons[ci], retunes[ci] = e, r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ControlPoint, n)
+	for ci := range out {
+		out[ci] = ControlPoint{
+			Plan:    ControlPlans[ci/len(ControlKinds)],
+			Kind:    ControlKinds[ci%len(ControlKinds)],
+			OffErr:  offs[ci],
+			OnErr:   ons[ci],
+			Retunes: retunes[ci],
+		}
+	}
+	return out, nil
+}
+
+// WriteControlTSV renders the sweep.
+func WriteControlTSV(w io.Writer, points []ControlPoint) error {
+	if _, err := fmt.Fprintln(w, "# Extension: closed-loop DDP controller — post-transient tail ratio error, controller off vs on"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "plan\tsched\toff_err\ton_err\tretunes"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%.4f\t%.4f\t%d\n",
+			p.Plan, p.Kind, p.OffErr, p.OnErr, p.Retunes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

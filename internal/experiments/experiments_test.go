@@ -326,6 +326,35 @@ func TestPADModerateLoadAccuracy(t *testing.T) {
 	}
 }
 
+// Control sweep shape and render; at quick scale the controller must
+// also beat the uncontrolled run in every cell (the convergence suite in
+// internal/control pins the tight margins — this guards the experiment's
+// own wiring).
+func TestControlShapeAndRender(t *testing.T) {
+	points, err := Control(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ControlPlans) * len(ControlKinds); len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.Retunes == 0 {
+			t.Errorf("%s/%s: controller never retuned", p.Plan, p.Kind)
+		}
+		if !(p.OnErr < p.OffErr) {
+			t.Errorf("%s/%s: on_err %.4f >= off_err %.4f", p.Plan, p.Kind, p.OnErr, p.OffErr)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteControlTSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "load-ramp") || !strings.Contains(buf.String(), "retunes") {
+		t.Fatalf("TSV missing expected rows:\n%s", buf.String())
+	}
+}
+
 func TestPathSchedShapeAndRender(t *testing.T) {
 	points, err := PathSched(tiny)
 	if err != nil {

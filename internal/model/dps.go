@@ -1,0 +1,130 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pdds/internal/traffic"
+)
+
+// This file implements the Discriminatory Processor Sharing fluid
+// reference (Kleinrock's DPS, as analyzed for delay differentiation by
+// Osipova, Ayesta and Avrachenkov): a server of rate R shared at every
+// instant among the backlogged classes in proportion to their weights,
+//
+//	r_i(t) = R · g_i / Σ_{j backlogged} g_j,
+//
+// with FIFO draining inside each class. It is the fluid limit the EWMA
+// proportional-fair scheduler's long-run byte shares converge to, and
+// plays the same role for PF that the RK4 fluid BPR reference plays for
+// packetized BPR: a structurally independent model the packetized
+// implementation must track in steady state (see the agreement test).
+
+// DPSSojourns replays a recorded arrival trace through the DPS fluid
+// server and returns per-class sojourn statistics: mean sojourn time
+// (departure − arrival, including service) and completion counts. The
+// replay drains completely, so every recorded arrival is measured.
+//
+// weights follow the SDP conventions (strictly positive, nondecreasing:
+// higher classes get larger capacity shares and hence smaller delays);
+// rate is the server capacity in bytes per time unit.
+func DPSSojourns(tr *traffic.Trace, weights []float64, rate float64) (mean []float64, count []uint64, err error) {
+	if len(weights) != tr.Classes {
+		return nil, nil, fmt.Errorf("model: %d DPS weights for %d trace classes", len(weights), tr.Classes)
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, nil, fmt.Errorf("model: DPS weight[%d]=%g must be finite and > 0", i, w)
+		}
+	}
+	if !(rate > 0) {
+		return nil, nil, fmt.Errorf("model: DPS rate %g must be > 0", rate)
+	}
+	n := tr.Classes
+	type job struct {
+		arrival   float64
+		remaining float64
+	}
+	queues := make([][]job, n)
+	head := make([]int, n)
+	sum := make([]float64, n)
+	count = make([]uint64, n)
+
+	backloggedWeight := func() float64 {
+		var tot float64
+		for i := 0; i < n; i++ {
+			if head[i] < len(queues[i]) {
+				tot += weights[i]
+			}
+		}
+		return tot
+	}
+
+	now := 0.0
+	next := 0
+	arr := tr.Arrivals
+	for {
+		totW := backloggedWeight()
+		if totW == 0 {
+			// Idle server: jump to the next arrival, or finish.
+			if next >= len(arr) {
+				break
+			}
+			a := arr[next]
+			next++
+			now = a.Time
+			queues[a.Class] = append(queues[a.Class], job{arrival: a.Time, remaining: float64(a.Size)})
+			continue
+		}
+		// Earliest head completion under the current rate split. The
+		// low-to-high scan with strict < makes ties deterministic.
+		doneClass, doneAt := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if head[i] >= len(queues[i]) {
+				continue
+			}
+			ri := rate * weights[i] / totW
+			if t := now + queues[i][head[i]].remaining/ri; t < doneAt {
+				doneClass, doneAt = i, t
+			}
+		}
+		// An arrival at the same instant is folded in first, so the rate
+		// split it causes takes effect before the completion is booked.
+		if next < len(arr) && arr[next].Time <= doneAt {
+			a := arr[next]
+			next++
+			dt := a.Time - now
+			for i := 0; i < n; i++ {
+				if head[i] < len(queues[i]) {
+					queues[i][head[i]].remaining -= rate * weights[i] / totW * dt
+				}
+			}
+			now = a.Time
+			queues[a.Class] = append(queues[a.Class], job{arrival: a.Time, remaining: float64(a.Size)})
+			continue
+		}
+		dt := doneAt - now
+		for i := 0; i < n; i++ {
+			if head[i] < len(queues[i]) {
+				queues[i][head[i]].remaining -= rate * weights[i] / totW * dt
+			}
+		}
+		now = doneAt
+		j := queues[doneClass][head[doneClass]]
+		sum[doneClass] += now - j.arrival
+		count[doneClass]++
+		head[doneClass]++
+		if head[doneClass] == len(queues[doneClass]) {
+			queues[doneClass] = queues[doneClass][:0]
+			head[doneClass] = 0
+		}
+	}
+
+	mean = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if count[i] > 0 {
+			mean[i] = sum[i] / float64(count[i])
+		}
+	}
+	return mean, count, nil
+}

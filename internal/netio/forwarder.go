@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pdds/internal/control"
 	"pdds/internal/core"
 	"pdds/internal/telemetry"
 )
@@ -81,6 +82,20 @@ type Config struct {
 	// created automatically when Telemetry is nil.
 	MetricsAddr string
 
+	// Control, when non-nil, runs the closed-loop DDP controller: a
+	// background goroutine snapshots the telemetry registry every
+	// ControlInterval, feeds the controller (Control.SDP and Control.Kind
+	// default from SDP and Scheduler), and stages each decision through
+	// Retune — so every per-shard scheduler is retuned atomically between
+	// egress batches. Requires a retunable Scheduler kind; a telemetry
+	// registry is created automatically when none is configured. When the
+	// measured ratios stay inside the controller's deadband no retune is
+	// ever staged and the data path is untouched.
+	Control *control.Config
+	// ControlInterval is the controller's observation period
+	// (default 1s).
+	ControlInterval time.Duration
+
 	// Fault, when non-nil, intercepts every egress write attempt for
 	// fault injection — packet corruption, truncation, duplication,
 	// reordering, receiver stalls, and transient or persistent write
@@ -104,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
+	}
+	if c.ControlInterval == 0 {
+		c.ControlInterval = time.Second
 	}
 	return c
 }
@@ -214,6 +232,19 @@ type Forwarder struct {
 	wake    chan struct{} // 1-buffered ingress→transmit doorbell
 	closeCh chan struct{} // closed once by Close
 
+	// retunePending flags a staged parameter vector; the vector itself
+	// (pendingParams) and the applied history live under statMu. The
+	// transmit goroutine checks the flag between egress batches and
+	// installs the vector into every per-shard scheduler in one step, so
+	// no packet is ever scheduled under a half-updated parameter set.
+	retunePending atomic.Bool
+
+	// ctl is the optional closed-loop controller, driven solely by its
+	// own goroutine (controlLoop); ctlStats mirrors its counters under
+	// statMu for concurrent readers.
+	ctl   *control.Controller
+	ctlWG sync.WaitGroup
+
 	// statMu guards the counter transactions (stats, queued, classQueued,
 	// shardStats, idSeq, closing/drainBy) — never held across socket I/O.
 	statMu      sync.Mutex
@@ -224,6 +255,11 @@ type Forwarder struct {
 	stats       Stats
 	shardStats  []ShardStats
 	idSeq       uint64
+
+	pendingParams []float64 // staged retune vector; valid while retunePending
+	retuneApplied uint64    // vectors installed by the transmit goroutine
+	retuneParams  []float64 // last installed vector
+	ctlStats      control.Stats
 
 	closeOnce sync.Once
 	closeErr  error
@@ -309,8 +345,27 @@ func Listen(cfg Config) (*Forwarder, error) {
 		classQueued: make([]int, numClasses),
 		shardStats:  make([]ShardStats, cfg.Shards),
 	}
-	if f.telem == nil && cfg.MetricsAddr != "" {
+	if f.telem == nil && (cfg.MetricsAddr != "" || cfg.Control != nil) {
 		f.telem = telemetry.NewWithSDP(cfg.SDP)
+	}
+	if cfg.Control != nil {
+		if _, ok := scheds[0].(core.Retuner); !ok {
+			closeConns()
+			return nil, fmt.Errorf("netio: Control: %s is not retunable", cfg.Scheduler)
+		}
+		cc := *cfg.Control
+		if cc.SDP == nil {
+			cc.SDP = cfg.SDP
+		}
+		if cc.Kind == "" {
+			cc.Kind = cfg.Scheduler
+		}
+		ctl, err := control.New(cc)
+		if err != nil {
+			closeConns()
+			return nil, fmt.Errorf("netio: %w", err)
+		}
+		f.ctl = ctl
 	}
 	if cfg.MetricsAddr != "" {
 		srv, err := telemetry.Serve(cfg.MetricsAddr, f.telem)
@@ -343,6 +398,10 @@ func Listen(cfg Config) (*Forwarder, error) {
 	}
 	f.xmitWG.Add(1)
 	go f.transmitLoop()
+	if f.ctl != nil {
+		f.ctlWG.Add(1)
+		go f.controlLoop()
+	}
 	return f, nil
 }
 
@@ -380,6 +439,120 @@ func (f *Forwarder) ShardStats() []ShardStats {
 	return out
 }
 
+// Retune stages a new scheduler parameter vector for every shard. The
+// vector is validated synchronously (core.CheckRetuneParams plus the
+// kind's retunability); the installation itself is performed by the
+// transmit goroutine between egress batches, so service order is never
+// computed under a half-updated parameter set and no queued packet is
+// touched. A second Retune before the first installs simply replaces the
+// staged vector. Safe for concurrent use.
+func (f *Forwarder) Retune(params []float64) error {
+	if _, ok := f.scheds[0].(core.Retuner); !ok {
+		return fmt.Errorf("netio: %w", core.ErrNotRetunable)
+	}
+	if err := core.CheckRetuneParams(params, f.numClasses); err != nil {
+		return fmt.Errorf("netio: %w", err)
+	}
+	f.statMu.Lock()
+	f.pendingParams = append(f.pendingParams[:0], params...)
+	f.statMu.Unlock()
+	f.retunePending.Store(true)
+	f.signalWake()
+	return nil
+}
+
+// RetuneStats reports the live retune seam's activity.
+type RetuneStats struct {
+	// Pending is true when a vector is staged but not yet installed.
+	Pending bool
+	// Applied counts vectors the transmit goroutine has installed.
+	Applied uint64
+	// Params is the last installed vector (nil before the first).
+	Params []float64
+}
+
+// RetuneStats returns a snapshot of the retune seam's counters.
+func (f *Forwarder) RetuneStats() RetuneStats {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	out := RetuneStats{
+		Pending: f.retunePending.Load(),
+		Applied: f.retuneApplied,
+	}
+	if f.retuneParams != nil {
+		out.Params = append([]float64(nil), f.retuneParams...)
+	}
+	return out
+}
+
+// ControlStats returns the embedded controller's activity counters; ok is
+// false when the forwarder runs without Config.Control.
+func (f *Forwarder) ControlStats() (control.Stats, bool) {
+	if f.ctl == nil {
+		return control.Stats{}, false
+	}
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.ctlStats, true
+}
+
+// maybeRetune installs a staged parameter vector into every per-shard
+// scheduler. Transmit-side only: between the check and the installation
+// no dequeue happens, so the swap is atomic with respect to service
+// order.
+func (f *Forwarder) maybeRetune() {
+	if !f.retunePending.Load() {
+		return
+	}
+	f.statMu.Lock()
+	params := f.pendingParams
+	f.pendingParams = nil
+	f.retunePending.Store(false)
+	f.statMu.Unlock()
+	if len(params) == 0 {
+		return
+	}
+	for _, s := range f.scheds {
+		// Validated in Retune; the per-shard copies share one kind, so a
+		// failure here would be a programming error, not an input error.
+		if err := core.Retune(s, params); err != nil {
+			return
+		}
+	}
+	f.statMu.Lock()
+	f.retuneApplied++
+	f.retuneParams = params
+	f.statMu.Unlock()
+}
+
+// controlLoop drives the optional closed-loop controller: snapshot the
+// registry each tick, let the controller judge the window, and stage any
+// decision through Retune. The controller itself is confined to this
+// goroutine; decisions cross to the transmit goroutine via the staging
+// seam only.
+func (f *Forwarder) controlLoop() {
+	defer f.ctlWG.Done()
+	t := time.NewTicker(f.cfg.ControlInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.closeCh:
+			return
+		case <-t.C:
+		}
+		d, ok := f.ctl.Observe(f.telem.Snapshot())
+		st := f.ctl.Stats()
+		f.statMu.Lock()
+		f.ctlStats = st
+		f.statMu.Unlock()
+		if ok {
+			// Validation cannot fail: the controller emits clamped
+			// nondecreasing vectors and the kind was checked at Listen.
+			f.Retune(d.Params)
+		}
+	}
+}
+
 // Close shuts the forwarder down and waits for its loops to exit. With
 // Config.DrainTimeout zero, queued datagrams are dropped immediately
 // (counted in Stats.Dropped and per-class telemetry drops); with a
@@ -397,6 +570,7 @@ func (f *Forwarder) Close() error {
 			}
 		}
 		close(f.closeCh)
+		f.ctlWG.Wait()
 		// Shards exit on their sockets' close errors; after they are gone
 		// the rings are final, the transmitter drains (or discards at the
 		// deadline), and the final sweep below accounts anything a shard
@@ -557,6 +731,7 @@ func (f *Forwarder) transmitLoop() {
 		f.sleepUntil(nextFree)
 
 		f.drainRings()
+		f.maybeRetune()
 		wasEmpty := f.backlog == 0
 		for f.backlog == 0 {
 			if closing, _ := f.closeState(); closing {
@@ -568,6 +743,7 @@ func (f *Forwarder) transmitLoop() {
 			case <-f.closeCh:
 			}
 			f.drainRings()
+			f.maybeRetune()
 		}
 		if closing, drainBy := f.closeState(); closing && !time.Now().Before(drainBy) {
 			f.discardAll()

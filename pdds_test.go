@@ -156,6 +156,60 @@ func TestForwarderFacade(t *testing.T) {
 	}
 }
 
+// The facade's adaptation surface: Retune swaps live parameters, the
+// counters report it, Adapt wires the controller in, and both refuse a
+// non-retunable scheduler.
+func TestForwarderFacadeAdapt(t *testing.T) {
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	fwd, err := StartForwarderWithConfig(ForwarderConfig{
+		Listen:  "127.0.0.1:0",
+		Forward: recv.LocalAddr().String(),
+		SDP:     []float64{1, 4},
+		RateBps: 1e6,
+		Adapt:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	if err := fwd.Retune([]float64{4, 1}); err == nil {
+		t.Fatal("non-monotone SDP vector accepted")
+	}
+	if err := fwd.Retune([]float64{1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cs := fwd.ControlStats()
+		if cs.Applied == 1 {
+			if len(cs.Params) != 2 || cs.Params[1] != 8 {
+				t.Fatalf("installed params = %v, want [1 8]", cs.Params)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retune never installed: %+v", cs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, err := StartForwarderWithConfig(ForwarderConfig{
+		Listen:    "127.0.0.1:0",
+		Forward:   recv.LocalAddr().String(),
+		Scheduler: FCFS,
+		RateBps:   1e6,
+		Adapt:     true,
+	}); err == nil {
+		t.Fatal("Adapt on FCFS accepted")
+	}
+}
+
 func TestStartForwarderError(t *testing.T) {
 	if _, err := StartForwarder("bad addr", "127.0.0.1:9", WTP, nil, 1e6); err == nil {
 		t.Fatal("bad listen addr accepted")
